@@ -1,0 +1,227 @@
+//! Progress measures the greedy adversary minimizes.
+//!
+//! Each objective scores a candidate round tree against the current state;
+//! **lower scores delay broadcast longer** (the adversary picks the
+//! minimum). The measures mirror the quantities the paper's matrix
+//! analysis tracks, and comparing them head-to-head is the objective
+//! ablation (experiment E10).
+
+use treecast_bitmatrix::BitSet;
+use treecast_core::BroadcastState;
+use treecast_trees::RootedTree;
+
+/// Scores candidate trees; smaller = slower progress = better for the
+/// adversary.
+pub trait Objective {
+    /// The score of playing `tree` in `state`.
+    fn score(&self, state: &BroadcastState, tree: &RootedTree) -> u64;
+
+    /// Short name used in reports and the ablation table.
+    fn name(&self) -> &'static str;
+}
+
+/// Counts the edges the product graph would gain:
+/// `Σ_y |heard[parent(y)] \ heard[y]|` — the paper's strict-progress
+/// quantity, greedily kept at its floor of 1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinNewEdges;
+
+impl Objective for MinNewEdges {
+    fn score(&self, state: &BroadcastState, tree: &RootedTree) -> u64 {
+        let mut gained = 0u64;
+        for y in 0..state.n() {
+            if let Some(p) = tree.parent(y) {
+                gained += state.heard_set(p).difference_len(state.heard_set(y)) as u64;
+            }
+        }
+        gained
+    }
+
+    fn name(&self) -> &'static str {
+        "min-new-edges"
+    }
+}
+
+/// Minimizes the largest reach set after the round (then total growth as a
+/// tie-break): directly attacks Definition 2.2, which needs one reach set
+/// to hit `n`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinMaxReach;
+
+impl Objective for MinMaxReach {
+    fn score(&self, state: &BroadcastState, tree: &RootedTree) -> u64 {
+        let (max_reach, sum_gain) = reach_after(state, tree);
+        // Lexicographic (max_reach, sum_gain) packed into one u64: the gain
+        // is bounded by n² < 2^32 for any practical n.
+        (max_reach << 32) | sum_gain
+    }
+
+    fn name(&self) -> &'static str {
+        "min-max-reach"
+    }
+}
+
+/// Minimizes the total reach growth (equals [`MinNewEdges`] in value) but
+/// tie-breaks on max reach — the mirror image of [`MinMaxReach`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinSumReach;
+
+impl Objective for MinSumReach {
+    fn score(&self, state: &BroadcastState, tree: &RootedTree) -> u64 {
+        let (max_reach, sum_gain) = reach_after(state, tree);
+        (sum_gain << 32) | max_reach
+    }
+
+    fn name(&self) -> &'static str {
+        "min-sum-reach"
+    }
+}
+
+/// Minimizes the number of *nearly full* reach sets (within `slack` of
+/// `n`), then max reach, then growth: a potential function that spreads
+/// progress away from all near-winners instead of only the single leader.
+#[derive(Debug, Clone, Copy)]
+pub struct MinNearWinners {
+    /// A reach set counts as "near winning" when its size is at least
+    /// `n − slack`.
+    pub slack: usize,
+}
+
+impl Default for MinNearWinners {
+    fn default() -> Self {
+        MinNearWinners { slack: 2 }
+    }
+}
+
+impl Objective for MinNearWinners {
+    fn score(&self, state: &BroadcastState, tree: &RootedTree) -> u64 {
+        let n = state.n();
+        let threshold = n.saturating_sub(self.slack);
+        let after = reach_weights_after(state, tree);
+        let near = after.iter().filter(|&&w| w >= threshold).count() as u64;
+        let max = after.iter().copied().max().unwrap_or(0) as u64;
+        let sum: u64 = after.iter().map(|&w| w as u64).sum();
+        (near << 48) | (max << 32) | sum
+    }
+
+    fn name(&self) -> &'static str {
+        "min-near-winners"
+    }
+}
+
+/// The reach-weight vector after hypothetically playing `tree`, computed
+/// without cloning the whole state: node `x` is gained by `y` iff
+/// `x ∈ heard[parent(y)] \ heard[y]`.
+pub(crate) fn reach_weights_after(state: &BroadcastState, tree: &RootedTree) -> Vec<usize> {
+    let n = state.n();
+    let mut weights = state.reach_weights();
+    let mut fresh = BitSet::new(n);
+    for y in 0..n {
+        if let Some(p) = tree.parent(y) {
+            fresh.clone_from(state.heard_set(p));
+            fresh.difference_with(state.heard_set(y));
+            for x in &fresh {
+                weights[x] += 1;
+            }
+        }
+    }
+    weights
+}
+
+/// `(max reach after, total gain)` in one pass.
+fn reach_after(state: &BroadcastState, tree: &RootedTree) -> (u64, u64) {
+    let before: u64 = state.edge_count() as u64;
+    let after = reach_weights_after(state, tree);
+    let max = after.iter().copied().max().unwrap_or(0) as u64;
+    let sum: u64 = after.iter().map(|&w| w as u64).sum();
+    (max, sum - before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treecast_trees::generators;
+
+    fn state_after(trees: &[RootedTree], n: usize) -> BroadcastState {
+        let mut s = BroadcastState::new(n);
+        for t in trees {
+            s.apply(t);
+        }
+        s
+    }
+
+    #[test]
+    fn predicted_weights_match_actual_application() {
+        let n = 6;
+        let state = state_after(&[generators::broom(n, 3), generators::path(n)], n);
+        for tree in [
+            generators::path(n),
+            generators::star(n),
+            generators::caterpillar(n, 2),
+            generators::spider(n, 3),
+        ] {
+            let predicted = reach_weights_after(&state, &tree);
+            let mut applied = state.clone();
+            applied.apply(&tree);
+            assert_eq!(predicted, applied.reach_weights(), "tree {tree}");
+        }
+    }
+
+    #[test]
+    fn min_new_edges_matches_edge_delta() {
+        let n = 5;
+        let state = state_after(&[generators::star(n)], n);
+        for tree in [generators::path(n), generators::broom(n, 2)] {
+            let score = MinNewEdges.score(&state, &tree);
+            let mut applied = state.clone();
+            applied.apply(&tree);
+            assert_eq!(
+                score,
+                (applied.edge_count() - state.edge_count()) as u64,
+                "tree {tree}"
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_state_scores() {
+        // From the identity state, a path adds exactly n−1 edges, a star
+        // also adds n−1 (center reaches everyone).
+        let n = 7;
+        let state = BroadcastState::new(n);
+        assert_eq!(MinNewEdges.score(&state, &generators::path(n)), (n - 1) as u64);
+        assert_eq!(MinNewEdges.score(&state, &generators::star(n)), (n - 1) as u64);
+    }
+
+    #[test]
+    fn max_reach_prefers_paths_over_stars() {
+        // From identity, a star pushes one node to reach n; a path caps
+        // everyone at reach 2.
+        let n = 6;
+        let state = BroadcastState::new(n);
+        let star = MinMaxReach.score(&state, &generators::star(n));
+        let path = MinMaxReach.score(&state, &generators::path(n));
+        assert!(path < star, "path {path} should beat star {star}");
+    }
+
+    #[test]
+    fn near_winners_counts_threshold() {
+        let n = 4;
+        // Two rounds of path: root reaches 3 of 4 — near-winner at slack 2.
+        let state = state_after(&[generators::path(n), generators::path(n)], n);
+        let score = MinNearWinners { slack: 2 }.score(&state, &generators::path(n));
+        assert!(score >> 48 >= 1, "root must count as near winner");
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            MinNewEdges.name(),
+            MinMaxReach.name(),
+            MinSumReach.name(),
+            MinNearWinners::default().name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

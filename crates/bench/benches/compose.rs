@@ -1,0 +1,67 @@
+//! Substrate microbenches: matrix product (Definition 2.1) and the
+//! column-view round application it competes against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use treecast_bitmatrix::{BoolMatrix, PackedMatrix};
+use treecast_core::BroadcastState;
+use treecast_trees::random;
+
+fn random_matrix(n: usize, density_percent: u32, rng: &mut StdRng) -> BoolMatrix {
+    let mut m = BoolMatrix::identity(n);
+    for x in 0..n {
+        for y in 0..n {
+            if rng.gen_ratio(density_percent, 100) {
+                m.set(x, y, true);
+            }
+        }
+    }
+    m
+}
+
+fn bench_compose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("boolmatrix_compose");
+    let mut rng = StdRng::seed_from_u64(1);
+    for n in [64usize, 256, 1024] {
+        let a = random_matrix(n, 10, &mut rng);
+        let b = random_matrix(n, 10, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| a.compose(&b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_packed_compose(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = PackedMatrix::from_bits(8, rng.gen());
+    let b = PackedMatrix::from_bits(8, rng.gen());
+    c.bench_function("packed_compose_n8", |bencher| {
+        bencher.iter(|| a.compose(b));
+    });
+}
+
+fn bench_apply_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_apply_tree");
+    let mut rng = StdRng::seed_from_u64(3);
+    for n in [64usize, 256, 1024] {
+        let tree = random::uniform(n, &mut rng);
+        let mut state = BroadcastState::new(n);
+        // Warm the state so rows are non-trivial.
+        for _ in 0..4 {
+            state.apply(&random::uniform(n, &mut rng));
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| {
+                let mut s = state.clone();
+                s.apply(&tree);
+                s.edge_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compose, bench_packed_compose, bench_apply_tree);
+criterion_main!(benches);

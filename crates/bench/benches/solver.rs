@@ -1,0 +1,57 @@
+//! Exact-solver scaling (experiment E7's compute budget). `n = 6` runs in
+//! tens of seconds and is deliberately excluded; the experiments binary
+//! covers it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treecast_solver::{solve_with, SolveOptions};
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_exact");
+    group.sample_size(10);
+    for n in [3usize, 4, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, &n| {
+            bencher.iter(|| {
+                solve_with(
+                    n,
+                    SolveOptions {
+                        skip_schedule: true,
+                        ..Default::default()
+                    },
+                )
+                .expect("small n solves")
+                .t_star
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_canonicalization_modes(c: &mut Criterion) {
+    use treecast_solver::CanonMode;
+    let mut group = c.benchmark_group("solver_canon_mode_n5");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("exact", CanonMode::Exact),
+        ("fast", CanonMode::Fast),
+        ("none", CanonMode::None),
+    ] {
+        group.bench_function(label, |bencher| {
+            bencher.iter(|| {
+                solve_with(
+                    5,
+                    SolveOptions {
+                        canon: mode,
+                        skip_schedule: true,
+                        ..Default::default()
+                    },
+                )
+                .expect("n = 5 solves")
+                .t_star
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_canonicalization_modes);
+criterion_main!(benches);

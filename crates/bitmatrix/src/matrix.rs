@@ -1,0 +1,702 @@
+//! Square boolean matrices viewed as directed-graph adjacency matrices.
+//!
+//! [`BoolMatrix`] implements the product of Definition 2.1 of the paper:
+//! `(x, y) ∈ A∘B ⇔ ∃z. (x, z) ∈ A ∧ (z, y) ∈ B`, which is exactly the
+//! boolean matrix product. All analysis of broadcast time reduces to
+//! tracking how products of rooted-tree matrices evolve.
+
+use core::fmt;
+use core::ops::Mul;
+use core::str::FromStr;
+use std::collections::HashSet;
+
+use crate::bitset::BitSet;
+
+/// A square boolean matrix over `n` nodes, stored as one [`BitSet`] per row.
+///
+/// Row `x` is the *out-neighborhood* (reach set) of node `x`: entry
+/// `(x, y)` is `true` iff there is an edge from `x` to `y`.
+///
+/// # Examples
+///
+/// The product graph of a 3-path applied twice — after two rounds the head
+/// of the path has reached everyone:
+///
+/// ```
+/// use treecast_bitmatrix::BoolMatrix;
+///
+/// // Path 0 → 1 → 2 with self-loops.
+/// let mut path = BoolMatrix::identity(3);
+/// path.set(0, 1, true);
+/// path.set(1, 2, true);
+///
+/// let product = &(&path * &path) * &path; // composing more changes nothing new
+/// assert_eq!(product.first_full_row(), Some(0));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BoolMatrix {
+    n: usize,
+    rows: Vec<BitSet>,
+}
+
+impl BoolMatrix {
+    /// Creates the all-zeros matrix on `n` nodes.
+    pub fn zeros(n: usize) -> Self {
+        BoolMatrix {
+            n,
+            rows: vec![BitSet::new(n); n],
+        }
+    }
+
+    /// Creates the identity matrix on `n` nodes (self-loops only).
+    ///
+    /// This is `G(0)` in the model: before any round, every node has heard
+    /// only from itself.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use treecast_bitmatrix::BoolMatrix;
+    /// let id = BoolMatrix::identity(4);
+    /// assert!(id.is_reflexive());
+    /// assert_eq!(id.edge_count(), 4);
+    /// ```
+    pub fn identity(n: usize) -> Self {
+        let mut m = BoolMatrix::zeros(n);
+        for i in 0..n {
+            m.rows[i].insert(i);
+        }
+        m
+    }
+
+    /// Creates the all-ones matrix on `n` nodes.
+    pub fn ones(n: usize) -> Self {
+        BoolMatrix {
+            n,
+            rows: vec![BitSet::full(n); n],
+        }
+    }
+
+    /// Builds a matrix from explicit rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's universe size differs from the number of rows.
+    pub fn from_rows(rows: Vec<BitSet>) -> Self {
+        let n = rows.len();
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(
+                r.universe_size(),
+                n,
+                "row {} has universe {} but the matrix has {} rows",
+                i,
+                r.universe_size(),
+                n
+            );
+        }
+        BoolMatrix { n, rows }
+    }
+
+    /// Builds a matrix from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use treecast_bitmatrix::BoolMatrix;
+    /// let m = BoolMatrix::from_edges(3, [(0, 1), (1, 2)]);
+    /// assert!(m.get(0, 1) && m.get(1, 2) && !m.get(2, 0));
+    /// ```
+    pub fn from_edges<I: IntoIterator<Item = (usize, usize)>>(n: usize, edges: I) -> Self {
+        let mut m = BoolMatrix::zeros(n);
+        for (x, y) in edges {
+            m.set(x, y, true);
+        }
+        m
+    }
+
+    /// The number of nodes `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Reads entry `(x, y)`.
+    ///
+    /// Out-of-range queries return `false`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        x < self.n && self.rows[x].contains(y)
+    }
+
+    /// Writes entry `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= n` or `y >= n`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: bool) {
+        assert!(x < self.n, "row {} out of range for n = {}", x, self.n);
+        if value {
+            self.rows[x].insert(y);
+        } else {
+            self.rows[x].remove(y);
+        }
+    }
+
+    /// Borrows row `x` (the reach set of node `x`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= n`.
+    #[inline]
+    pub fn row(&self, x: usize) -> &BitSet {
+        &self.rows[x]
+    }
+
+    /// Mutably borrows row `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= n`.
+    #[inline]
+    pub fn row_mut(&mut self, x: usize) -> &mut BitSet {
+        &mut self.rows[x]
+    }
+
+    /// Iterates over all rows in index order.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &BitSet> {
+        self.rows.iter()
+    }
+
+    /// Materializes column `y` as a [`BitSet`] (the in-neighborhood of `y`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y >= n`.
+    pub fn column(&self, y: usize) -> BitSet {
+        assert!(y < self.n, "column {} out of range for n = {}", y, self.n);
+        let mut col = BitSet::new(self.n);
+        for (x, row) in self.rows.iter().enumerate() {
+            if row.contains(y) {
+                col.insert(x);
+            }
+        }
+        col
+    }
+
+    /// The transposed matrix.
+    pub fn transpose(&self) -> BoolMatrix {
+        let mut t = BoolMatrix::zeros(self.n);
+        for (x, row) in self.rows.iter().enumerate() {
+            for y in row {
+                t.rows[y].insert(x);
+            }
+        }
+        t
+    }
+
+    /// The product `self ∘ other` of Definition 2.1:
+    /// `(x, y) ∈ A∘B ⇔ ∃z. (x, z) ∈ A ∧ (z, y) ∈ B`.
+    ///
+    /// Row formulation: `(A∘B).row(x) = ⋃_{z ∈ A.row(x)} B.row(z)`,
+    /// computed with word-parallel unions in `O(n·e/64)` where `e` is the
+    /// number of edges of `A`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use treecast_bitmatrix::BoolMatrix;
+    /// let a = BoolMatrix::from_edges(3, [(0, 1)]);
+    /// let b = BoolMatrix::from_edges(3, [(1, 2)]);
+    /// assert!(a.compose(&b).get(0, 2));
+    /// assert!(!b.compose(&a).get(0, 2));
+    /// ```
+    pub fn compose(&self, other: &BoolMatrix) -> BoolMatrix {
+        assert_eq!(
+            self.n, other.n,
+            "matrix dimension mismatch: {} vs {}",
+            self.n, other.n
+        );
+        let mut out = BoolMatrix::zeros(self.n);
+        for (x, row) in self.rows.iter().enumerate() {
+            let out_row = &mut out.rows[x];
+            for z in row {
+                out_row.union_with(&other.rows[z]);
+            }
+        }
+        out
+    }
+
+    /// In-place union: `self ← self ∪ other` (entry-wise OR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn union_with(&mut self, other: &BoolMatrix) {
+        assert_eq!(
+            self.n, other.n,
+            "matrix dimension mismatch: {} vs {}",
+            self.n, other.n
+        );
+        for (a, b) in self.rows.iter_mut().zip(&other.rows) {
+            a.union_with(b);
+        }
+    }
+
+    /// Returns `true` if `self[x][y] ⇒ other[x][y]` for all entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn is_submatrix_of(&self, other: &BoolMatrix) -> bool {
+        assert_eq!(
+            self.n, other.n,
+            "matrix dimension mismatch: {} vs {}",
+            self.n, other.n
+        );
+        self.rows
+            .iter()
+            .zip(&other.rows)
+            .all(|(a, b)| a.is_subset(b))
+    }
+
+    /// Returns `true` if every diagonal entry is set.
+    pub fn is_reflexive(&self) -> bool {
+        self.rows.iter().enumerate().all(|(i, r)| r.contains(i))
+    }
+
+    /// Sets every diagonal entry.
+    pub fn add_self_loops(&mut self) {
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            row.insert(i);
+        }
+    }
+
+    /// Total number of edges (set entries), self-loops included.
+    pub fn edge_count(&self) -> usize {
+        self.rows.iter().map(BitSet::len).sum()
+    }
+
+    /// The weight (popcount) of each row — the paper's central quantity.
+    pub fn row_weights(&self) -> Vec<usize> {
+        self.rows.iter().map(BitSet::len).collect()
+    }
+
+    /// The weight of each column.
+    pub fn col_weights(&self) -> Vec<usize> {
+        let mut w = vec![0usize; self.n];
+        for row in &self.rows {
+            for y in row {
+                w[y] += 1;
+            }
+        }
+        w
+    }
+
+    /// The first node whose row is full, i.e. a broadcast witness
+    /// (Definition 2.2), if one exists.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use treecast_bitmatrix::BoolMatrix;
+    /// assert_eq!(BoolMatrix::identity(1).first_full_row(), Some(0));
+    /// assert_eq!(BoolMatrix::identity(2).first_full_row(), None);
+    /// ```
+    pub fn first_full_row(&self) -> Option<usize> {
+        self.rows.iter().position(BitSet::is_full)
+    }
+
+    /// Returns `true` if some node has reached every node.
+    #[inline]
+    pub fn has_full_row(&self) -> bool {
+        self.first_full_row().is_some()
+    }
+
+    /// All broadcast witnesses.
+    pub fn full_rows(&self) -> Vec<usize> {
+        (0..self.n).filter(|&x| self.rows[x].is_full()).collect()
+    }
+
+    /// Returns `true` if every entry is set — the gossip condition
+    /// (everyone has heard from everyone).
+    pub fn is_all_ones(&self) -> bool {
+        self.rows.iter().all(BitSet::is_full)
+    }
+
+    /// Number of pairwise-distinct rows.
+    ///
+    /// The paper's matrix analysis tracks duplication among rows; a matrix
+    /// with many duplicate rows is "compressible" and progresses faster.
+    pub fn distinct_row_count(&self) -> usize {
+        let mut seen: HashSet<&BitSet> = HashSet::with_capacity(self.n);
+        for row in &self.rows {
+            seen.insert(row);
+        }
+        seen.len()
+    }
+
+    /// Returns `true` if the graph is *nonsplit*: every pair of nodes has a
+    /// common in-neighbor.
+    ///
+    /// Nonsplit graphs power the previous best `O(n log log n)` upper bound
+    /// ([Függer, Nowak & Winkler 2020] combined with
+    /// [Charron-Bost, Függer & Nowak 2015]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use treecast_bitmatrix::BoolMatrix;
+    /// // A star centered at 0 (with loops) is nonsplit: 0 points at everyone.
+    /// let mut star = BoolMatrix::identity(4);
+    /// for leaf in 1..4 {
+    ///     star.set(0, leaf, true);
+    /// }
+    /// assert!(star.is_nonsplit());
+    /// // The identity alone is not (distinct nodes share no in-neighbor).
+    /// assert!(!BoolMatrix::identity(2).is_nonsplit());
+    /// ```
+    pub fn is_nonsplit(&self) -> bool {
+        let cols: Vec<BitSet> = (0..self.n).map(|y| self.column(y)).collect();
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                if cols[a].is_disjoint(&cols[b]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Applies the node relabeling `perm` (a bijection on `[n]`), returning
+    /// the matrix `P` with `P[perm[x]][perm[y]] = self[x][y]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..n`.
+    pub fn permute(&self, perm: &[usize]) -> BoolMatrix {
+        assert_eq!(perm.len(), self.n, "permutation length must equal n");
+        let mut seen = vec![false; self.n];
+        for &p in perm {
+            assert!(
+                p < self.n && !seen[p],
+                "perm is not a permutation of 0..{}",
+                self.n
+            );
+            seen[p] = true;
+        }
+        let mut out = BoolMatrix::zeros(self.n);
+        for (x, row) in self.rows.iter().enumerate() {
+            for y in row {
+                out.rows[perm[x]].insert(perm[y]);
+            }
+        }
+        out
+    }
+}
+
+impl Mul for &BoolMatrix {
+    type Output = BoolMatrix;
+
+    /// `a * b` is the graph product `a ∘ b` of Definition 2.1.
+    fn mul(self, rhs: &BoolMatrix) -> BoolMatrix {
+        self.compose(rhs)
+    }
+}
+
+impl fmt::Debug for BoolMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BoolMatrix(n={})", self.n)?;
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Renders the matrix as `n` lines of `n` bits, row 0 first.
+impl fmt::Display for BoolMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                f.write_str("\n")?;
+            }
+            write!(f, "{row}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when parsing a [`BoolMatrix`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseMatrixError {
+    /// A row contained a character other than `0`/`1`.
+    BadCharacter(char),
+    /// Row `row` has `got` entries where `expected` were required.
+    RaggedRow {
+        /// Index of the offending row.
+        row: usize,
+        /// Entries found in that row.
+        got: usize,
+        /// Entries required (the number of rows).
+        expected: usize,
+    },
+}
+
+impl fmt::Display for ParseMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseMatrixError::BadCharacter(c) => {
+                write!(f, "invalid matrix character {c:?}, expected '0' or '1'")
+            }
+            ParseMatrixError::RaggedRow { row, got, expected } => {
+                write!(f, "row {row} has {got} entries, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseMatrixError {}
+
+impl FromStr for BoolMatrix {
+    type Err = ParseMatrixError;
+
+    /// Parses a matrix from newline-separated bitstrings.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use treecast_bitmatrix::BoolMatrix;
+    /// let m: BoolMatrix = "110\n010\n011".parse()?;
+    /// assert!(m.is_reflexive());
+    /// assert_eq!(m.edge_count(), 5);
+    /// # Ok::<(), treecast_bitmatrix::ParseMatrixError>(())
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lines: Vec<&str> = s.lines().filter(|l| !l.trim().is_empty()).collect();
+        let n = lines.len();
+        let mut rows = Vec::with_capacity(n);
+        for (i, line) in lines.iter().enumerate() {
+            let line = line.trim();
+            let len = line.chars().count();
+            if len != n {
+                return Err(ParseMatrixError::RaggedRow {
+                    row: i,
+                    got: len,
+                    expected: n,
+                });
+            }
+            let mut row = BitSet::new(n);
+            for (j, c) in line.chars().enumerate() {
+                match c {
+                    '1' => {
+                        row.insert(j);
+                    }
+                    '0' => {}
+                    other => return Err(ParseMatrixError::BadCharacter(other)),
+                }
+            }
+            rows.push(row);
+        }
+        Ok(BoolMatrix { n, rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive O(n³) reference product used to validate the bitset version.
+    fn naive_compose(a: &BoolMatrix, b: &BoolMatrix) -> BoolMatrix {
+        let n = a.n();
+        let mut out = BoolMatrix::zeros(n);
+        for x in 0..n {
+            for y in 0..n {
+                let mut any = false;
+                for z in 0..n {
+                    if a.get(x, z) && b.get(z, y) {
+                        any = true;
+                        break;
+                    }
+                }
+                if any {
+                    out.set(x, y, true);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let m: BoolMatrix = "0110\n1010\n0011\n1000".parse().unwrap();
+        let id = BoolMatrix::identity(4);
+        assert_eq!(m.compose(&id), m);
+        assert_eq!(id.compose(&m), m);
+    }
+
+    #[test]
+    fn compose_matches_naive_reference() {
+        // Deterministic pseudo-random fill without pulling in rand here.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [1usize, 2, 3, 5, 8, 17, 64, 65] {
+            let mut a = BoolMatrix::zeros(n);
+            let mut b = BoolMatrix::zeros(n);
+            for x in 0..n {
+                for y in 0..n {
+                    if next() % 3 == 0 {
+                        a.set(x, y, true);
+                    }
+                    if next() % 3 == 0 {
+                        b.set(x, y, true);
+                    }
+                }
+            }
+            assert_eq!(a.compose(&b), naive_compose(&a, &b), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn compose_is_associative_on_samples() {
+        let a: BoolMatrix = "110\n011\n101".parse().unwrap();
+        let b: BoolMatrix = "100\n110\n001".parse().unwrap();
+        let c: BoolMatrix = "010\n001\n100".parse().unwrap();
+        assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
+    }
+
+    #[test]
+    fn mul_operator_is_compose() {
+        let a = BoolMatrix::from_edges(3, [(0, 1)]);
+        let b = BoolMatrix::from_edges(3, [(1, 2)]);
+        assert_eq!(&a * &b, a.compose(&b));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m: BoolMatrix = "0110\n1010\n0011\n1000".parse().unwrap();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn column_matches_transpose_row() {
+        let m: BoolMatrix = "0110\n1010\n0011\n1000".parse().unwrap();
+        let t = m.transpose();
+        for y in 0..4 {
+            assert_eq!(&m.column(y), t.row(y));
+        }
+    }
+
+    #[test]
+    fn weights() {
+        let m: BoolMatrix = "110\n010\n011".parse().unwrap();
+        assert_eq!(m.row_weights(), vec![2, 1, 2]);
+        assert_eq!(m.col_weights(), vec![1, 3, 1]);
+        assert_eq!(m.edge_count(), 5);
+    }
+
+    #[test]
+    fn full_row_detection() {
+        let mut m = BoolMatrix::identity(3);
+        assert!(!m.has_full_row());
+        m.set(1, 0, true);
+        m.set(1, 2, true);
+        assert_eq!(m.first_full_row(), Some(1));
+        assert_eq!(m.full_rows(), vec![1]);
+        assert!(!m.is_all_ones());
+        assert!(BoolMatrix::ones(3).is_all_ones());
+    }
+
+    #[test]
+    fn distinct_rows() {
+        let m: BoolMatrix = "110\n110\n001".parse().unwrap();
+        assert_eq!(m.distinct_row_count(), 2);
+        assert_eq!(BoolMatrix::identity(4).distinct_row_count(), 4);
+    }
+
+    #[test]
+    fn nonsplit_examples() {
+        // All-ones is nonsplit.
+        assert!(BoolMatrix::ones(3).is_nonsplit());
+        // A single node is vacuously nonsplit.
+        assert!(BoolMatrix::identity(1).is_nonsplit());
+        // Identity on ≥2 nodes is split.
+        assert!(!BoolMatrix::identity(2).is_nonsplit());
+        // Star with loops: center reaches everyone, so any pair shares the
+        // center as in-neighbor... but only pairs involving covered columns.
+        let mut star = BoolMatrix::identity(5);
+        for leaf in 1..5 {
+            star.set(0, leaf, true);
+        }
+        assert!(star.is_nonsplit());
+    }
+
+    #[test]
+    fn permute_relabels() {
+        let m = BoolMatrix::from_edges(3, [(0, 1), (1, 2)]);
+        let p = m.permute(&[2, 0, 1]); // 0→2, 1→0, 2→1
+        assert!(p.get(2, 0), "edge (0,1) must become (2,0)");
+        assert!(p.get(0, 1), "edge (1,2) must become (0,1)");
+        assert_eq!(p.edge_count(), m.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permute_rejects_non_bijection() {
+        BoolMatrix::identity(3).permute(&[0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn compose_checks_dimensions() {
+        let _ = BoolMatrix::identity(3).compose(&BoolMatrix::identity(4));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            "01\n0".parse::<BoolMatrix>(),
+            Err(ParseMatrixError::RaggedRow { row: 1, got: 1, expected: 2 })
+        ));
+        assert!(matches!(
+            "0a\n00".parse::<BoolMatrix>(),
+            Err(ParseMatrixError::BadCharacter('a'))
+        ));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let m: BoolMatrix = "0110\n1010\n0011\n1000".parse().unwrap();
+        let rendered = m.to_string();
+        assert_eq!(rendered.parse::<BoolMatrix>().unwrap(), m);
+    }
+
+    #[test]
+    fn submatrix_ordering() {
+        let id = BoolMatrix::identity(3);
+        let ones = BoolMatrix::ones(3);
+        assert!(id.is_submatrix_of(&ones));
+        assert!(!ones.is_submatrix_of(&id));
+        assert!(id.is_submatrix_of(&id));
+    }
+
+    #[test]
+    fn union_with_is_entrywise_or() {
+        let mut a = BoolMatrix::from_edges(3, [(0, 1)]);
+        let b = BoolMatrix::from_edges(3, [(1, 2)]);
+        a.union_with(&b);
+        assert!(a.get(0, 1) && a.get(1, 2));
+        assert_eq!(a.edge_count(), 2);
+    }
+}

@@ -1,0 +1,377 @@
+//! Whole-matrix-in-a-word representation for `n ≤ 8`.
+//!
+//! The exact solver ([`treecast-solver`]) explores millions of product-graph
+//! states; packing an entire n×n boolean matrix into one `u64` makes states
+//! hashable machine words and composition a handful of shifts and ORs.
+//!
+//! Bit layout: entry `(x, y)` lives at bit `x·n + y` (row-major, stride `n`),
+//! so matrices over different `n` use disjoint prefixes of the word.
+//!
+//! [`treecast-solver`]: https://docs.rs/treecast-solver
+
+use core::fmt;
+
+use crate::matrix::BoolMatrix;
+
+/// Maximum number of nodes a [`PackedMatrix`] supports (8 × 8 = 64 bits).
+pub const PACKED_MAX_N: usize = 8;
+
+/// An `n × n` boolean matrix packed into a single `u64`, for `n ≤ 8`.
+///
+/// # Examples
+///
+/// ```
+/// use treecast_bitmatrix::PackedMatrix;
+///
+/// let mut path = PackedMatrix::identity(3);
+/// path.set(0, 1, true);
+/// path.set(1, 2, true);
+/// let twice = path.compose(path);
+/// assert!(twice.get(0, 2), "0 reaches 2 through 1 in two hops");
+/// assert!(twice.row_full(0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PackedMatrix {
+    n: u8,
+    bits: u64,
+}
+
+impl PackedMatrix {
+    /// The all-zeros matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 8` or `n == 0`.
+    pub fn zeros(n: usize) -> Self {
+        assert!(
+            (1..=PACKED_MAX_N).contains(&n),
+            "PackedMatrix supports 1 ≤ n ≤ {PACKED_MAX_N}, got {n}"
+        );
+        PackedMatrix { n: n as u8, bits: 0 }
+    }
+
+    /// The identity matrix (self-loops only) — the model's `G(0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 8` or `n == 0`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = PackedMatrix::zeros(n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// The all-ones matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 8` or `n == 0`.
+    pub fn ones(n: usize) -> Self {
+        let mut m = PackedMatrix::zeros(n);
+        m.bits = if n * n == 64 {
+            u64::MAX
+        } else {
+            (1u64 << (n * n)) - 1
+        };
+        m
+    }
+
+    /// Reconstructs a matrix from its raw bits.
+    ///
+    /// Bits beyond `n²` are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 8` or `n == 0`.
+    pub fn from_bits(n: usize, bits: u64) -> Self {
+        let mut m = PackedMatrix::zeros(n);
+        m.bits = bits & Self::ones(n).bits;
+        m
+    }
+
+    /// The raw packed bits (row-major, stride `n`).
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// The number of nodes.
+    #[inline]
+    pub fn n(self) -> usize {
+        self.n as usize
+    }
+
+    /// Bitmask selecting row `x` within the packed word, already shifted
+    /// down to the low `n` bits.
+    #[inline]
+    pub fn row_bits(self, x: usize) -> u64 {
+        debug_assert!(x < self.n());
+        (self.bits >> (x * self.n())) & self.row_mask()
+    }
+
+    #[inline]
+    fn row_mask(self) -> u64 {
+        (1u64 << self.n) - 1
+    }
+
+    /// Reads entry `(x, y)`.
+    #[inline]
+    pub fn get(self, x: usize, y: usize) -> bool {
+        debug_assert!(x < self.n() && y < self.n());
+        self.bits >> (x * self.n() + y) & 1 != 0
+    }
+
+    /// Writes entry `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: bool) {
+        debug_assert!(x < self.n() && y < self.n());
+        let bit = 1u64 << (x * self.n() + y);
+        if value {
+            self.bits |= bit;
+        } else {
+            self.bits &= !bit;
+        }
+    }
+
+    /// The product `self ∘ other` (Definition 2.1), row formulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn compose(self, other: PackedMatrix) -> PackedMatrix {
+        assert_eq!(self.n, other.n, "packed matrix dimension mismatch");
+        let n = self.n();
+        let mut out = PackedMatrix::zeros(n);
+        for x in 0..n {
+            let mut srcs = self.row_bits(x);
+            let mut acc = 0u64;
+            while srcs != 0 {
+                let z = srcs.trailing_zeros() as usize;
+                srcs &= srcs - 1;
+                acc |= other.row_bits(z);
+            }
+            out.bits |= acc << (x * n);
+        }
+        out
+    }
+
+    /// Entry-wise OR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn union(self, other: PackedMatrix) -> PackedMatrix {
+        assert_eq!(self.n, other.n, "packed matrix dimension mismatch");
+        PackedMatrix {
+            n: self.n,
+            bits: self.bits | other.bits,
+        }
+    }
+
+    /// Returns `true` if every entry of `self` is an entry of `other`.
+    #[inline]
+    pub fn is_submatrix_of(self, other: PackedMatrix) -> bool {
+        self.n == other.n && self.bits & !other.bits == 0
+    }
+
+    /// Number of set entries.
+    #[inline]
+    pub fn edge_count(self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Returns `true` if row `x` is all ones.
+    #[inline]
+    pub fn row_full(self, x: usize) -> bool {
+        self.row_bits(x) == self.row_mask()
+    }
+
+    /// Returns `true` if some row is all ones — the broadcast condition.
+    #[inline]
+    pub fn has_full_row(self) -> bool {
+        (0..self.n()).any(|x| self.row_full(x))
+    }
+
+    /// Returns `true` if every diagonal entry is set.
+    pub fn is_reflexive(self) -> bool {
+        (0..self.n()).all(|i| self.get(i, i))
+    }
+
+    /// Applies the relabeling `perm`, returning `P` with
+    /// `P[perm[x]][perm[y]] = self[x][y]`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `perm` has length `n`; a non-bijective `perm`
+    /// produces garbage (callers in the solver precompute valid
+    /// permutations).
+    pub fn permute(self, perm: &[usize]) -> PackedMatrix {
+        debug_assert_eq!(perm.len(), self.n());
+        let n = self.n();
+        let mut out = PackedMatrix::zeros(n);
+        let mut bits = self.bits;
+        while bits != 0 {
+            let idx = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let (x, y) = (idx / n, idx % n);
+            out.bits |= 1u64 << (perm[x] * n + perm[y]);
+        }
+        out
+    }
+
+    /// Widens into a heap-allocated [`BoolMatrix`].
+    pub fn to_matrix(self) -> BoolMatrix {
+        let n = self.n();
+        let mut m = BoolMatrix::zeros(n);
+        for x in 0..n {
+            for y in 0..n {
+                if self.get(x, y) {
+                    m.set(x, y, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Narrows a [`BoolMatrix`] into packed form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.n() > 8` or `m.n() == 0`.
+    pub fn from_matrix(m: &BoolMatrix) -> Self {
+        let n = m.n();
+        let mut out = PackedMatrix::zeros(n);
+        for x in 0..n {
+            for y in m.row(x) {
+                out.set(x, y, true);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for PackedMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PackedMatrix(n={}, bits={:#x})", self.n, self.bits)
+    }
+}
+
+impl fmt::Display for PackedMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_matrix(), f)
+    }
+}
+
+impl From<PackedMatrix> for BoolMatrix {
+    fn from(p: PackedMatrix) -> BoolMatrix {
+        p.to_matrix()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_ones() {
+        for n in 1..=8 {
+            let id = PackedMatrix::identity(n);
+            assert!(id.is_reflexive());
+            assert_eq!(id.edge_count(), n);
+            let ones = PackedMatrix::ones(n);
+            assert_eq!(ones.edge_count(), n * n);
+            assert!(ones.has_full_row());
+            assert_eq!(id.compose(ones), ones);
+            assert_eq!(ones.compose(id), ones);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ n ≤ 8")]
+    fn rejects_large_n() {
+        PackedMatrix::zeros(9);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ n ≤ 8")]
+    fn rejects_zero_n() {
+        PackedMatrix::zeros(0);
+    }
+
+    #[test]
+    fn compose_agrees_with_boolmatrix() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in 1..=8usize {
+            for _ in 0..50 {
+                let a = PackedMatrix::from_bits(n, next());
+                let b = PackedMatrix::from_bits(n, next());
+                let packed = a.compose(b);
+                let wide = a.to_matrix().compose(&b.to_matrix());
+                assert_eq!(packed.to_matrix(), wide, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_boolmatrix() {
+        let mut m = PackedMatrix::identity(5);
+        m.set(0, 4, true);
+        m.set(3, 1, true);
+        assert_eq!(PackedMatrix::from_matrix(&m.to_matrix()), m);
+    }
+
+    #[test]
+    fn row_full_detection() {
+        let mut m = PackedMatrix::identity(4);
+        assert!(!m.has_full_row());
+        for y in 0..4 {
+            m.set(2, y, true);
+        }
+        assert!(m.row_full(2));
+        assert!(m.has_full_row());
+        assert!(!m.row_full(0));
+    }
+
+    #[test]
+    fn permute_preserves_structure() {
+        let mut m = PackedMatrix::zeros(4);
+        m.set(0, 1, true);
+        m.set(1, 2, true);
+        let perm = [3, 2, 1, 0];
+        let p = m.permute(&perm);
+        assert!(p.get(3, 2));
+        assert!(p.get(2, 1));
+        assert_eq!(p.edge_count(), 2);
+        // Permuting back with the inverse (same here: involution) restores.
+        assert_eq!(p.permute(&perm), m);
+    }
+
+    #[test]
+    fn from_bits_masks_overflow() {
+        let m = PackedMatrix::from_bits(2, u64::MAX);
+        assert_eq!(m.edge_count(), 4);
+    }
+
+    #[test]
+    fn submatrix_ordering() {
+        let id = PackedMatrix::identity(3);
+        let ones = PackedMatrix::ones(3);
+        assert!(id.is_submatrix_of(ones));
+        assert!(!ones.is_submatrix_of(id));
+    }
+
+    #[test]
+    fn n8_uses_all_64_bits() {
+        let ones = PackedMatrix::ones(8);
+        assert_eq!(ones.bits(), u64::MAX);
+        assert!(ones.row_full(7));
+    }
+}

@@ -1,0 +1,262 @@
+//! Every bound in the paper's Figure 1, as exact integer formulas.
+//!
+//! The theorem-grade bounds (the ZSS lower bound and the El-Hayek–Henzinger–
+//! Schmid upper bound) are computed in exact integer arithmetic — no
+//! floating point, so certificate checks can never be thrown off by
+//! rounding. The asymptotic reference curves (`n log n`, `2n log log n +
+//! O(n)`, `k·n`) carry unspecified constants in the paper; we expose the
+//! natural constants and document that only the *shape* is comparable.
+
+/// `⌈(3n−1)/2⌉ − 2` — the Zeiner–Schwarz–Schmid lower bound on `t*(T_n)`
+/// (left side of Theorem 3.1), clamped at 0 for tiny `n`.
+///
+/// # Examples
+///
+/// ```
+/// use treecast_core::bounds::lower_bound;
+/// assert_eq!(lower_bound(2), 1);
+/// assert_eq!(lower_bound(3), 2);
+/// assert_eq!(lower_bound(10), 13);
+/// ```
+pub fn lower_bound(n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    ((3 * n - 1).div_ceil(2)).saturating_sub(2)
+}
+
+/// `⌈(1+√2)·n − 1⌉` — the paper's new upper bound on `t*(T_n)` (right side
+/// of Theorem 3.1), computed exactly as `(n − 1) + ⌈√2·n⌉`.
+///
+/// The identity holds because `√2·n` is irrational for every `n ≥ 1`, so
+/// the integer part `n − 1` moves out of the ceiling losslessly.
+///
+/// # Examples
+///
+/// ```
+/// use treecast_core::bounds::upper_bound;
+/// assert_eq!(upper_bound(1), 2);
+/// assert_eq!(upper_bound(10), 24);   // 9 + ⌈14.142…⌉
+/// assert_eq!(upper_bound(100), 241); // 99 + ⌈141.42…⌉ = 99 + 142
+/// ```
+pub fn upper_bound(n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    (n - 1) + ceil_sqrt2_times(n)
+}
+
+/// `⌈√2·n⌉` computed exactly: the smallest `m` with `m² ≥ 2n²`.
+///
+/// # Examples
+///
+/// ```
+/// use treecast_core::bounds::ceil_sqrt2_times;
+/// assert_eq!(ceil_sqrt2_times(1), 2);
+/// assert_eq!(ceil_sqrt2_times(5), 8);   // 7.07…
+/// assert_eq!(ceil_sqrt2_times(100), 142);
+/// ```
+pub fn ceil_sqrt2_times(n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let target = 2u128 * (n as u128) * (n as u128);
+    let mut m = isqrt_u128(target);
+    while (m as u128) * (m as u128) < target {
+        m += 1;
+    }
+    m
+}
+
+/// Floor integer square root.
+fn isqrt_u128(v: u128) -> u64 {
+    if v == 0 {
+        return 0;
+    }
+    let mut x = (v as f64).sqrt() as u128;
+    // Newton touch-up to kill float error at the boundaries.
+    while x * x > v {
+        x -= 1;
+    }
+    while (x + 1) * (x + 1) <= v {
+        x += 1;
+    }
+    x as u64
+}
+
+/// `n²` — the trivial upper bound of Section 2 (at least one new edge per
+/// round).
+pub fn upper_trivial(n: u64) -> u64 {
+    n * n
+}
+
+/// `n·⌈log₂ n⌉` — the Charron-Bost–Schiper / Charron-Bost–Függer–Nowak
+/// upper bound (first column of Figure 1). The paper writes `n log n`
+/// without a base; base 2 is the natural reading for halving arguments.
+pub fn upper_n_log_n(n: u64) -> u64 {
+    n * ceil_log2(n)
+}
+
+/// `2n·⌈log₂ log₂ n⌉ + 2n` — the Függer–Nowak–Winkler bound
+/// `2n log log n + O(n)` with the O(n) constant taken as `2n`
+/// (shape-comparison curve, not a certified bound).
+pub fn upper_n_loglog_n(n: u64) -> u64 {
+    2 * n * ceil_log2(ceil_log2(n).max(1)) + 2 * n
+}
+
+/// `k·n` — the Zeiner–Schwarz–Schmid `O(kn)` reference curve for
+/// adversaries restricted to trees with `k` leaves per round.
+pub fn upper_k_leaves(k: u64, n: u64) -> u64 {
+    k * n
+}
+
+/// `k·n` — the `O(kn)` reference curve for adversaries restricted to trees
+/// with `k` inner nodes per round.
+pub fn upper_k_inner(k: u64, n: u64) -> u64 {
+    k * n
+}
+
+/// `n − 1` — broadcast time of the static path (Section 2).
+pub fn path_time(n: u64) -> u64 {
+    n.saturating_sub(1)
+}
+
+/// `⌈log₂ n⌉` (0 for `n ≤ 1`).
+pub fn ceil_log2(n: u64) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros() as u64
+    }
+}
+
+/// The floating-point FNW reference curve `2n·log₂log₂ n + c·n`, for
+/// plotting against measured nonsplit dissemination times.
+pub fn fnw_reference(n: u64, c: f64) -> f64 {
+    if n < 4 {
+        return c * n as f64;
+    }
+    let loglog = (n as f64).log2().log2();
+    2.0 * n as f64 * loglog + c * n as f64
+}
+
+/// `true` iff `lower_bound(n) ≤ t ≤ upper_bound(n)` — the Theorem 3.1
+/// sandwich, which every *optimal* adversary's broadcast time must satisfy
+/// (achievable adversaries need only the right half).
+pub fn sandwich_holds(n: u64, t: u64) -> bool {
+    lower_bound(n) <= t && t <= upper_bound(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_bound_table() {
+        // Hand-checked values of ⌈(3n−1)/2⌉ − 2.
+        let expected = [
+            (1, 0), // ⌈2/2⌉ − 2 < 0 → clamp
+            (2, 1),
+            (3, 2),
+            (4, 4),  // ⌈11/2⌉ = 6, −2
+            (5, 5),  // ⌈14/2⌉ = 7, −2
+            (6, 7),  // ⌈17/2⌉ = 9, −2
+            (7, 8),
+            (10, 13),
+            (100, 148),
+        ];
+        for (n, want) in expected {
+            assert_eq!(lower_bound(n), want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn upper_bound_matches_float_reference() {
+        for n in 1..=10_000u64 {
+            let float = ((1.0 + 2f64.sqrt()) * n as f64 - 1.0).ceil() as u64;
+            assert_eq!(upper_bound(n), float, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn upper_bound_spot_values() {
+        assert_eq!(upper_bound(2), 4); // ⌈3.828…⌉
+        assert_eq!(upper_bound(3), 7); // ⌈6.242…⌉
+        assert_eq!(upper_bound(4), 9); // ⌈8.656…⌉
+        assert_eq!(upper_bound(1000), 2414); // ⌈2414.21…⌉ − integer part split: 999 + 1415
+    }
+
+    #[test]
+    fn ceil_sqrt2_is_exact_at_scale() {
+        // Near-overflow scale still exact.
+        for n in [1u64, 2, 3, 10, 1_000_000, 4_000_000_000] {
+            let m = ceil_sqrt2_times(n);
+            let m = m as u128;
+            let t = 2 * (n as u128) * (n as u128);
+            assert!(m * m >= t);
+            assert!((m - 1) * (m - 1) < t);
+        }
+    }
+
+    #[test]
+    fn sandwich_is_consistent() {
+        for n in 1..500 {
+            assert!(
+                lower_bound(n) <= upper_bound(n),
+                "bounds crossed at n = {n}"
+            );
+            assert!(sandwich_holds(n, lower_bound(n)));
+            assert!(sandwich_holds(n, upper_bound(n)));
+            assert!(!sandwich_holds(n, upper_bound(n) + 1));
+        }
+    }
+
+    #[test]
+    fn figure1_ordering_for_large_n() {
+        // For large n the columns of Figure 1 must order:
+        // (1+√2)n < 2n loglog n + 2n < n log n < n².
+        // The middle comparison carries our chosen constants, so it only
+        // separates once log n clearly dominates 2 loglog n + 2.
+        for n in [64u64, 256, 1024, 65_536, 1 << 20, 1 << 30] {
+            assert!(upper_bound(n) < upper_n_loglog_n(n), "n = {n}");
+            assert!(upper_n_log_n(n) < upper_trivial(n), "n = {n}");
+        }
+        for n in [1u64 << 20, 1 << 30] {
+            assert!(upper_n_loglog_n(n) < upper_n_log_n(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn path_time_is_n_minus_1() {
+        assert_eq!(path_time(1), 0);
+        assert_eq!(path_time(10), 9);
+    }
+
+    #[test]
+    fn fnw_reference_monotone() {
+        let mut prev = 0.0;
+        for n in 4..2000u64 {
+            let v = fnw_reference(n, 2.0);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn restricted_curves() {
+        assert_eq!(upper_k_leaves(3, 100), 300);
+        assert_eq!(upper_k_inner(5, 10), 50);
+    }
+}

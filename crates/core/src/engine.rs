@@ -1,0 +1,437 @@
+//! The simulation engine: run a tree source (adversary) against the model
+//! until broadcast, gossip, or a round limit.
+
+use treecast_trees::{NodeId, RootedTree};
+
+use crate::model::BroadcastState;
+
+/// Produces the round-`t` tree, possibly as a function of the current
+/// product-graph state — this is Definition 2.3's adversary interface.
+///
+/// Implementations live in `treecast-adversary`; [`SequenceSource`] and
+/// [`StaticSource`] are provided here because the engine, solver and
+/// nonsplit crates all need to replay fixed schedules.
+pub trait TreeSource {
+    /// The tree for the next round, given the state *before* the round.
+    fn next_tree(&mut self, state: &BroadcastState) -> RootedTree;
+
+    /// Human-readable name used in reports and experiment tables.
+    fn name(&self) -> String {
+        "anonymous".to_string()
+    }
+}
+
+impl<T: TreeSource + ?Sized> TreeSource for &mut T {
+    fn next_tree(&mut self, state: &BroadcastState) -> RootedTree {
+        (**self).next_tree(state)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<T: TreeSource + ?Sized> TreeSource for Box<T> {
+    fn next_tree(&mut self, state: &BroadcastState) -> RootedTree {
+        (**self).next_tree(state)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+/// Repeats one fixed tree every round (e.g. the static path of Section 2).
+#[derive(Debug, Clone)]
+pub struct StaticSource {
+    tree: RootedTree,
+    label: String,
+}
+
+impl StaticSource {
+    /// A source that plays `tree` forever.
+    pub fn new(tree: RootedTree) -> Self {
+        let label = format!("static({})", summarize(&tree));
+        StaticSource { tree, label }
+    }
+
+    /// Overrides the report label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+fn summarize(tree: &RootedTree) -> &'static str {
+    if tree.is_path() {
+        "path"
+    } else if tree.is_star() {
+        "star"
+    } else {
+        "tree"
+    }
+}
+
+impl TreeSource for StaticSource {
+    fn next_tree(&mut self, _state: &BroadcastState) -> RootedTree {
+        self.tree.clone()
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Plays a fixed schedule of trees, then repeats the last one.
+///
+/// Used to replay optimal sequences extracted by the exact solver and
+/// beam-searched schedules.
+#[derive(Debug, Clone)]
+pub struct SequenceSource {
+    trees: Vec<RootedTree>,
+    next: usize,
+    label: String,
+}
+
+impl SequenceSource {
+    /// A source that plays `trees` in order; after the schedule runs out it
+    /// keeps repeating the final tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trees` is empty.
+    pub fn new(trees: Vec<RootedTree>) -> Self {
+        assert!(!trees.is_empty(), "schedule needs at least one tree");
+        SequenceSource {
+            label: format!("sequence(len={})", trees.len()),
+            trees,
+            next: 0,
+        }
+    }
+
+    /// Overrides the report label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// The full schedule.
+    pub fn trees(&self) -> &[RootedTree] {
+        &self.trees
+    }
+}
+
+impl TreeSource for SequenceSource {
+    fn next_tree(&mut self, _state: &BroadcastState) -> RootedTree {
+        let idx = self.next.min(self.trees.len() - 1);
+        self.next += 1;
+        self.trees[idx].clone()
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Hooks invoked by [`simulate_observed`] as the run progresses.
+///
+/// All methods have empty defaults; implement only what you need. The
+/// metrics recorder and the runtime certificates are observers.
+pub trait Observer {
+    /// Called after round `t` has been applied; `tree` is the round's tree
+    /// and `state` the state *after* the round.
+    fn on_round(&mut self, tree: &RootedTree, state: &BroadcastState) {
+        let _ = (tree, state);
+    }
+
+    /// Called once with the finished report.
+    fn on_finish(&mut self, report: &RunReport) {
+        let _ = report;
+    }
+}
+
+/// What the simulation should wait for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopCondition {
+    /// Stop at the first broadcast witness (Definition 2.2's `t*`).
+    Broadcast,
+    /// Keep going until everyone has heard from everyone (gossip); the
+    /// broadcast time is still recorded on the way.
+    Gossip,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulationConfig {
+    /// When to stop (broadcast by default).
+    pub until: StopCondition,
+    /// Hard safety cap on rounds; the run reports
+    /// [`RunOutcome::RoundLimit`] if it is hit. Defaults to `8n + 16` via
+    /// [`SimulationConfig::for_n`].
+    pub max_rounds: u64,
+}
+
+impl SimulationConfig {
+    /// The default configuration for an `n`-process run: stop at
+    /// broadcast, cap at `8n + 16` rounds (comfortably above the paper's
+    /// `⌈(1+√2)n−1⌉` theorem bound, so hitting it indicates a bug).
+    pub fn for_n(n: usize) -> Self {
+        SimulationConfig {
+            until: StopCondition::Broadcast,
+            max_rounds: 8 * n as u64 + 16,
+        }
+    }
+
+    /// Same but running on to gossip completion.
+    pub fn gossip_for_n(n: usize) -> Self {
+        SimulationConfig {
+            until: StopCondition::Gossip,
+            ..Self::for_n(n)
+        }
+    }
+
+    /// Replaces the round cap.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunOutcome {
+    /// A broadcast witness appeared (and that was the stop condition).
+    Broadcast {
+        /// The smallest witnessing node.
+        witness: NodeId,
+    },
+    /// Gossip completed.
+    Gossip,
+    /// The round cap was hit first.
+    RoundLimit,
+}
+
+/// Summary of a finished run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Number of processes.
+    pub n: usize,
+    /// Name of the tree source that drove the run.
+    pub source: String,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Why the run stopped.
+    pub outcome: RunOutcome,
+    /// First round with a broadcast witness, if one appeared.
+    pub broadcast_time: Option<u64>,
+    /// First round with gossip complete, if reached.
+    pub gossip_time: Option<u64>,
+    /// Edges of `G(t)` at the end.
+    pub final_edge_count: usize,
+}
+
+impl RunReport {
+    /// The broadcast time, panicking with a helpful message if the run
+    /// never broadcast (useful in experiments that expect completion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if broadcast was not achieved.
+    pub fn broadcast_time_or_panic(&self) -> u64 {
+        self.broadcast_time.unwrap_or_else(|| {
+            panic!(
+                "source {:?} did not broadcast within {} rounds at n = {}",
+                self.source, self.rounds, self.n
+            )
+        })
+    }
+}
+
+/// Runs `source` against a fresh `n`-process state. Convenience wrapper
+/// around [`simulate_observed`] with no observers.
+///
+/// # Examples
+///
+/// ```
+/// use treecast_core::{simulate, SimulationConfig, StaticSource};
+/// use treecast_trees::generators;
+///
+/// let n = 6;
+/// let mut source = StaticSource::new(generators::path(n));
+/// let report = simulate(n, &mut source, SimulationConfig::for_n(n));
+/// assert_eq!(report.broadcast_time, Some(5));
+/// ```
+pub fn simulate<S: TreeSource + ?Sized>(
+    n: usize,
+    source: &mut S,
+    config: SimulationConfig,
+) -> RunReport {
+    simulate_observed(n, source, config, &mut [])
+}
+
+/// Runs `source` against a fresh `n`-process state, feeding every round to
+/// the observers.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the source produces a tree of the wrong size.
+pub fn simulate_observed<S: TreeSource + ?Sized>(
+    n: usize,
+    source: &mut S,
+    config: SimulationConfig,
+    observers: &mut [&mut dyn Observer],
+) -> RunReport {
+    let mut state = BroadcastState::new(n);
+    let mut broadcast_time = state.broadcast_witness().map(|_| 0);
+    let mut gossip_time = state.is_gossip_complete().then_some(0);
+
+    let finished = |bt: Option<u64>, gt: Option<u64>| match config.until {
+        StopCondition::Broadcast => bt.is_some(),
+        StopCondition::Gossip => gt.is_some(),
+    };
+
+    while !finished(broadcast_time, gossip_time) && state.round() < config.max_rounds {
+        let tree = source.next_tree(&state);
+        state.apply(&tree);
+        for obs in observers.iter_mut() {
+            obs.on_round(&tree, &state);
+        }
+        if broadcast_time.is_none() {
+            if let Some(_witness) = state.broadcast_witness() {
+                broadcast_time = Some(state.round());
+            }
+        }
+        if gossip_time.is_none() && state.is_gossip_complete() {
+            gossip_time = Some(state.round());
+        }
+    }
+
+    let outcome = if finished(broadcast_time, gossip_time) {
+        match config.until {
+            StopCondition::Broadcast => RunOutcome::Broadcast {
+                witness: state
+                    .broadcast_witness()
+                    .expect("stop condition implies a witness"),
+            },
+            StopCondition::Gossip => RunOutcome::Gossip,
+        }
+    } else {
+        RunOutcome::RoundLimit
+    };
+
+    let report = RunReport {
+        n,
+        source: source.name(),
+        rounds: state.round(),
+        outcome,
+        broadcast_time,
+        gossip_time,
+        final_edge_count: state.edge_count(),
+    };
+    for obs in observers.iter_mut() {
+        obs.on_finish(&report);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treecast_trees::generators;
+
+    #[test]
+    fn static_path_takes_n_minus_1() {
+        for n in 2..10 {
+            let mut source = StaticSource::new(generators::path(n));
+            let report = simulate(n, &mut source, SimulationConfig::for_n(n));
+            assert_eq!(report.broadcast_time, Some((n - 1) as u64), "n = {n}");
+            assert!(matches!(
+                report.outcome,
+                RunOutcome::Broadcast { witness: 0 }
+            ));
+        }
+    }
+
+    #[test]
+    fn static_star_takes_1() {
+        let mut source = StaticSource::new(generators::star(9));
+        let report = simulate(9, &mut source, SimulationConfig::for_n(9));
+        assert_eq!(report.broadcast_time, Some(1));
+    }
+
+    #[test]
+    fn single_process_is_instant() {
+        let mut source = StaticSource::new(generators::star(1));
+        let report = simulate(1, &mut source, SimulationConfig::for_n(1));
+        assert_eq!(report.broadcast_time, Some(0));
+        assert_eq!(report.rounds, 0);
+    }
+
+    #[test]
+    fn gossip_on_static_path_hits_round_limit() {
+        let n = 4;
+        let mut source = StaticSource::new(generators::path(n));
+        let report = simulate(n, &mut source, SimulationConfig::gossip_for_n(n));
+        assert_eq!(report.outcome, RunOutcome::RoundLimit);
+        assert_eq!(report.broadcast_time, Some((n - 1) as u64));
+        assert_eq!(report.gossip_time, None);
+    }
+
+    #[test]
+    fn sequence_source_replays_then_repeats() {
+        let n = 4;
+        // One star round broadcasts instantly; schedule paths first.
+        let schedule = vec![
+            generators::path(n),
+            generators::path(n),
+            generators::star(n),
+        ];
+        let mut source = SequenceSource::new(schedule);
+        let report = simulate(n, &mut source, SimulationConfig::for_n(n));
+        assert_eq!(report.broadcast_time, Some(3));
+    }
+
+    #[test]
+    fn sequence_source_exposes_schedule() {
+        let s = SequenceSource::new(vec![generators::path(3)]);
+        assert_eq!(s.trees().len(), 1);
+        assert!(s.name().contains("sequence"));
+    }
+
+    #[test]
+    fn observer_sees_every_round() {
+        struct Counter {
+            rounds: u64,
+            finishes: u64,
+        }
+        impl Observer for Counter {
+            fn on_round(&mut self, _t: &RootedTree, _s: &BroadcastState) {
+                self.rounds += 1;
+            }
+            fn on_finish(&mut self, report: &RunReport) {
+                self.finishes += 1;
+                assert_eq!(report.rounds, self.rounds);
+            }
+        }
+        let n = 5;
+        let mut counter = Counter { rounds: 0, finishes: 0 };
+        let mut source = StaticSource::new(generators::path(n));
+        simulate_observed(
+            n,
+            &mut source,
+            SimulationConfig::for_n(n),
+            &mut [&mut counter],
+        );
+        assert_eq!(counter.rounds, (n - 1) as u64);
+        assert_eq!(counter.finishes, 1);
+    }
+
+    #[test]
+    fn labels_flow_into_reports() {
+        let n = 3;
+        let mut source =
+            StaticSource::new(generators::path(n)).with_label("my-path");
+        let report = simulate(n, &mut source, SimulationConfig::for_n(n));
+        assert_eq!(report.source, "my-path");
+    }
+}

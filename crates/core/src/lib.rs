@@ -1,0 +1,59 @@
+//! The broadcast-in-dynamic-rooted-trees model of El-Hayek, Henzinger &
+//! Schmid (PODC 2022), executable.
+//!
+//! The paper studies `n` processes that communicate in synchronous rounds;
+//! each round an adversary picks an arbitrary rooted tree (self-loops
+//! added), and the **broadcast time** `t*` is the first round at which some
+//! process has reached every other process through the product graph
+//! `G(t) = G₁ ∘ … ∘ G_t`. Theorem 3.1 sandwiches the worst case:
+//!
+//! ```text
+//! ⌈(3n−1)/2⌉ − 2  ≤  t*(T_n)  ≤  ⌈(1+√2)·n − 1⌉
+//! ```
+//!
+//! This crate provides:
+//!
+//! * [`BroadcastState`] — the evolving product graph (Definitions 2.1–2.2)
+//!   in an `O(n²/64)`-per-round column representation;
+//! * [`simulate`] / [`simulate_observed`] and the [`TreeSource`] trait —
+//!   the adversary interface (Definition 2.3) and run engine;
+//! * [`bounds`] — every formula in the paper's Figure 1, in exact integer
+//!   arithmetic;
+//! * [`MetricsRecorder`] — the matrix-evolution quantities of the paper's
+//!   Section 3 analysis, observable round by round;
+//! * [`CertObserver`] / [`cert::check_theorem`] — runtime certificates for
+//!   monotonicity, strict progress, and the Theorem 3.1 sandwich.
+//!
+//! # Examples
+//!
+//! The static path (Section 2's warm-up adversary) takes exactly `n − 1`
+//! rounds, well inside the theorem's window:
+//!
+//! ```
+//! use treecast_core::{bounds, simulate, SimulationConfig, StaticSource};
+//! use treecast_trees::generators;
+//!
+//! let n = 12;
+//! let mut source = StaticSource::new(generators::path(n));
+//! let report = simulate(n, &mut source, SimulationConfig::for_n(n));
+//! let t = report.broadcast_time.unwrap();
+//! assert_eq!(t, (n as u64) - 1);
+//! assert!(t <= bounds::upper_bound(n as u64));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod cert;
+mod engine;
+pub mod metrics;
+mod model;
+
+pub use cert::{CertObserver, TheoremVerdict, Violation};
+pub use engine::{
+    simulate, simulate_observed, Observer, RunOutcome, RunReport, SequenceSource,
+    SimulationConfig, StaticSource, StopCondition, TreeSource,
+};
+pub use metrics::{MetricsRecorder, RoundMetrics};
+pub use model::BroadcastState;

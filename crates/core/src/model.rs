@@ -1,0 +1,445 @@
+//! The broadcast model of Section 2 of the paper, made executable.
+//!
+//! * **Definition 2.1** (product graph): `(x, y) ∈ A∘B ⇔ ∃z. (x, z) ∈ A ∧
+//!   (z, y) ∈ B` — implemented by [`treecast_bitmatrix::BoolMatrix::compose`].
+//! * **Definition 2.2** (broadcast time): the first round `t` where some
+//!   node has an out-edge to every node in `G(t) = G₁∘…∘G_t`.
+//! * **Definition 2.3** (adversary): rounds are chosen to maximize that
+//!   time; adversaries live in `treecast-adversary` and the exact maximum
+//!   is computed by `treecast-solver`.
+//!
+//! [`BroadcastState`] tracks `G(t)` incrementally in *column view*: for
+//! each node `y` it stores the **heard-from set** `heard[y] = {x : (x, y) ∈
+//! G(t)}`. Applying a round tree `T` (with self-loops) is then a single
+//! union per node, because `y`'s in-neighbors in `T` are exactly `{y,
+//! parent(y)}`:
+//!
+//! ```text
+//! heard'[y] = heard[y] ∪ heard[parent(y)]     (root: unchanged)
+//! ```
+//!
+//! which costs `O(n²/64)` machine words per round instead of the `O(n³/64)`
+//! of a full matrix product.
+
+use treecast_bitmatrix::{BitSet, BoolMatrix};
+use treecast_trees::{NodeId, RootedTree};
+
+/// The evolving product graph `G(t)` of a broadcast run, in column view.
+///
+/// # Examples
+///
+/// Running the static path — the Section 2 example achieving `n − 1`:
+///
+/// ```
+/// use treecast_core::BroadcastState;
+/// use treecast_trees::generators;
+///
+/// let n = 5;
+/// let path = generators::path(n);
+/// let mut state = BroadcastState::new(n);
+/// let mut rounds = 0;
+/// while state.broadcast_witness().is_none() {
+///     state.apply(&path);
+///     rounds += 1;
+/// }
+/// assert_eq!(rounds, (n - 1) as u64);
+/// assert_eq!(state.broadcast_witness(), Some(0)); // the path's root
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct BroadcastState {
+    n: usize,
+    round: u64,
+    /// `heard[y]` = the set of nodes whose information `y` carries.
+    heard: Vec<BitSet>,
+}
+
+impl BroadcastState {
+    /// The initial state `G(0) = I`: every node has heard only from
+    /// itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "the model needs at least one process");
+        BroadcastState {
+            n,
+            round: 0,
+            heard: (0..n).map(|y| BitSet::singleton(n, y)).collect(),
+        }
+    }
+
+    /// Reconstructs a state from an explicit product-graph matrix (row `x`
+    /// = reach set of `x`), marking it as reached at `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not reflexive — product graphs of self-looped
+    /// rounds always contain the diagonal.
+    pub fn from_product_matrix(m: &BoolMatrix, round: u64) -> Self {
+        assert!(
+            m.is_reflexive(),
+            "a product graph of self-looped rounds must be reflexive"
+        );
+        let t = m.transpose();
+        BroadcastState {
+            n: m.n(),
+            round,
+            heard: (0..m.n()).map(|y| t.row(y).clone()).collect(),
+        }
+    }
+
+    /// Number of processes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Rounds applied so far (the `t` of `G(t)`).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The heard-from set of `y`: all `x` with `(x, y) ∈ G(t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y >= n`.
+    #[inline]
+    pub fn heard_set(&self, y: NodeId) -> &BitSet {
+        &self.heard[y]
+    }
+
+    /// The reach set of `x`: all `y` with `(x, y) ∈ G(t)` (row `x` of the
+    /// product graph). Materialized on demand in `O(n²/64)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= n`.
+    pub fn reach_set(&self, x: NodeId) -> BitSet {
+        assert!(x < self.n, "node {} out of range for n = {}", x, self.n);
+        let mut reach = BitSet::new(self.n);
+        for (y, h) in self.heard.iter().enumerate() {
+            if h.contains(x) {
+                reach.insert(y);
+            }
+        }
+        reach
+    }
+
+    /// The size of each node's reach set (row weights of `G(t)`) — the
+    /// quantity the paper's matrix analysis tracks round by round.
+    pub fn reach_weights(&self) -> Vec<usize> {
+        let mut w = vec![0usize; self.n];
+        for h in &self.heard {
+            for x in h {
+                w[x] += 1;
+            }
+        }
+        w
+    }
+
+    /// The size of each node's heard-from set (column weights of `G(t)`).
+    pub fn heard_weights(&self) -> Vec<usize> {
+        self.heard.iter().map(BitSet::len).collect()
+    }
+
+    /// Total number of edges of `G(t)` (self-loops included).
+    pub fn edge_count(&self) -> usize {
+        self.heard.iter().map(BitSet::len).sum()
+    }
+
+    /// All broadcast witnesses: nodes `x` present in **every** heard-from
+    /// set, i.e. `⋂_y heard[y]`.
+    pub fn broadcast_witnesses(&self) -> BitSet {
+        let mut acc = BitSet::full(self.n);
+        for h in &self.heard {
+            acc.intersect_with(h);
+        }
+        acc
+    }
+
+    /// The smallest broadcast witness, if broadcast has been achieved
+    /// (Definition 2.2).
+    pub fn broadcast_witness(&self) -> Option<NodeId> {
+        // Cheaper than materializing the intersection when far from done:
+        // bail at the first empty meet.
+        let mut acc = self.heard[0].clone();
+        for h in &self.heard[1..] {
+            acc.intersect_with(h);
+            if acc.is_empty() {
+                return None;
+            }
+        }
+        acc.min()
+    }
+
+    /// Returns `true` if every node has heard from every node — the gossip
+    /// condition (the all-to-all extension of Section 5).
+    pub fn is_gossip_complete(&self) -> bool {
+        self.heard.iter().all(BitSet::is_full)
+    }
+
+    /// Applies one synchronous round along `tree` (with implicit
+    /// self-loops): `G(t+1) = G(t) ∘ (tree + I)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tree.n() != self.n()`.
+    pub fn apply(&mut self, tree: &RootedTree) {
+        assert_eq!(
+            tree.n(),
+            self.n,
+            "round tree has {} nodes but the state has {}",
+            tree.n(),
+            self.n
+        );
+        // Reverse BFS: every node is updated before its parent, so each
+        // union reads the parent's *old* row — the synchronous semantics —
+        // without cloning the state.
+        let order = tree.bfs_order();
+        for &y in order.iter().rev() {
+            if let Some(p) = tree.parent(y) {
+                union_rows(&mut self.heard, y, p);
+            }
+        }
+        self.round += 1;
+    }
+
+    /// Applies one synchronous round along an arbitrary directed graph
+    /// `m` (self-loops are **not** implied; pass a reflexive matrix to
+    /// preserve information).
+    ///
+    /// Used by the nonsplit-graph experiments, where rounds are not trees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.n() != self.n()`.
+    pub fn apply_matrix(&mut self, m: &BoolMatrix) {
+        assert_eq!(
+            m.n(),
+            self.n,
+            "round matrix has {} nodes but the state has {}",
+            m.n(),
+            self.n
+        );
+        let old = std::mem::take(&mut self.heard);
+        let in_neighbors = m.transpose();
+        self.heard = (0..self.n)
+            .map(|y| {
+                let mut acc = BitSet::new(self.n);
+                for z in in_neighbors.row(y) {
+                    acc.union_with(&old[z]);
+                }
+                acc
+            })
+            .collect();
+        self.round += 1;
+    }
+
+    /// The product graph `G(t)` as a matrix (row `x` = reach set of `x`).
+    pub fn product_matrix(&self) -> BoolMatrix {
+        let mut m = BoolMatrix::zeros(self.n);
+        for (y, h) in self.heard.iter().enumerate() {
+            for x in h {
+                m.set(x, y, true);
+            }
+        }
+        m
+    }
+
+    /// The transpose of the product graph (row `y` = heard-from set of
+    /// `y`) without recomputation.
+    pub fn heard_matrix(&self) -> BoolMatrix {
+        BoolMatrix::from_rows(self.heard.clone())
+    }
+}
+
+/// `heard[dst] ∪= heard[src]` for distinct indices, borrow-safely.
+fn union_rows(heard: &mut [BitSet], dst: usize, src: usize) {
+    debug_assert_ne!(dst, src);
+    if dst < src {
+        let (lo, hi) = heard.split_at_mut(src);
+        lo[dst].union_with(&hi[0]);
+    } else {
+        let (lo, hi) = heard.split_at_mut(dst);
+        hi[0].union_with(&lo[src]);
+    }
+}
+
+impl core::fmt::Debug for BroadcastState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "BroadcastState(n={}, round={}, edges={})",
+            self.n,
+            self.round,
+            self.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treecast_trees::generators;
+
+    #[test]
+    fn initial_state_is_identity() {
+        let s = BroadcastState::new(4);
+        assert_eq!(s.round(), 0);
+        assert_eq!(s.edge_count(), 4);
+        assert_eq!(s.product_matrix(), BoolMatrix::identity(4));
+        assert!(s.broadcast_witness().is_none());
+        assert!(!s.is_gossip_complete());
+    }
+
+    #[test]
+    fn single_node_broadcasts_at_zero() {
+        let s = BroadcastState::new(1);
+        assert_eq!(s.broadcast_witness(), Some(0));
+        assert!(s.is_gossip_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn rejects_zero_processes() {
+        BroadcastState::new(0);
+    }
+
+    #[test]
+    fn apply_matches_matrix_product() {
+        // Column-view update must equal G(t−1) ∘ (T + I) for assorted trees.
+        let trees = [
+            generators::path(6),
+            generators::star(6),
+            generators::broom(6, 3),
+            generators::caterpillar(6, 2),
+            generators::spider(6, 2),
+        ];
+        let mut state = BroadcastState::new(6);
+        let mut reference = BoolMatrix::identity(6);
+        for (i, t) in trees.iter().enumerate() {
+            state.apply(t);
+            reference = reference.compose(&t.to_matrix(true));
+            assert_eq!(
+                state.product_matrix(),
+                reference,
+                "divergence after round {}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn star_broadcasts_in_one_round() {
+        let mut s = BroadcastState::new(7);
+        s.apply(&generators::star(7));
+        assert_eq!(s.broadcast_witness(), Some(0));
+        assert!(!s.is_gossip_complete());
+    }
+
+    #[test]
+    fn path_broadcasts_in_n_minus_1() {
+        let n = 6;
+        let path = generators::path(n);
+        let mut s = BroadcastState::new(n);
+        for _ in 0..n - 2 {
+            s.apply(&path);
+            assert!(s.broadcast_witness().is_none(), "too early at {}", s.round());
+        }
+        s.apply(&path);
+        assert_eq!(s.broadcast_witness(), Some(0));
+    }
+
+    #[test]
+    fn gossip_on_static_path_counts_both_directions() {
+        // On a static path only the root can reach down, so gossip never
+        // completes; witness that gossip stays incomplete while broadcast
+        // happens.
+        let n = 4;
+        let path = generators::path(n);
+        let mut s = BroadcastState::new(n);
+        for _ in 0..4 * n {
+            s.apply(&path);
+        }
+        assert_eq!(s.broadcast_witness(), Some(0));
+        assert!(!s.is_gossip_complete());
+    }
+
+    #[test]
+    fn alternating_stars_reach_gossip() {
+        let n = 5;
+        let mut s = BroadcastState::new(n);
+        for c in 0..n {
+            s.apply(&generators::star_with_center(n, c));
+        }
+        // After a star on every center, everyone heard everyone:
+        // center c learns all in its round, then later centers rebroadcast.
+        assert!(s.is_gossip_complete());
+    }
+
+    #[test]
+    fn reach_and_heard_are_transposes() {
+        let mut s = BroadcastState::new(6);
+        s.apply(&generators::broom(6, 2));
+        s.apply(&generators::path(6));
+        let product = s.product_matrix();
+        for x in 0..6 {
+            assert_eq!(&s.reach_set(x), product.row(x));
+        }
+        assert_eq!(s.heard_matrix(), product.transpose());
+        let rw = s.reach_weights();
+        let pw = product.row_weights();
+        assert_eq!(rw, pw);
+        assert_eq!(s.heard_weights(), product.col_weights());
+    }
+
+    #[test]
+    fn apply_matrix_agrees_with_apply_on_trees() {
+        let t = generators::caterpillar(7, 3);
+        let mut a = BroadcastState::new(7);
+        let mut b = BroadcastState::new(7);
+        a.apply(&t);
+        b.apply_matrix(&t.to_matrix(true));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_product_matrix_roundtrip() {
+        let mut s = BroadcastState::new(5);
+        s.apply(&generators::star(5));
+        s.apply(&generators::path(5));
+        let rebuilt = BroadcastState::from_product_matrix(&s.product_matrix(), s.round());
+        assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    fn monotone_growth() {
+        let mut s = BroadcastState::new(8);
+        let mut prev_edges = s.edge_count();
+        for t in [
+            generators::path(8),
+            generators::star(8),
+            generators::broom(8, 4),
+        ] {
+            let before = s.product_matrix();
+            s.apply(&t);
+            let after = s.product_matrix();
+            assert!(before.is_submatrix_of(&after), "monotonicity violated");
+            assert!(s.edge_count() >= prev_edges);
+            prev_edges = s.edge_count();
+        }
+    }
+
+    #[test]
+    fn witnesses_accumulate() {
+        let n = 4;
+        let mut s = BroadcastState::new(n);
+        s.apply(&generators::star(n));
+        let w = s.broadcast_witnesses();
+        assert!(w.contains(0));
+        assert_eq!(w.len(), 1);
+    }
+}

@@ -1,0 +1,456 @@
+//! Nonsplit graphs: the machinery behind the *previous best* upper bound.
+//!
+//! A directed graph is **nonsplit** when every pair of nodes has a common
+//! in-neighbor. Figure 1's `O(n log log n)` column combines two cited
+//! results that this crate makes executable:
+//!
+//! * **[CFN15] composition lemma** — the product of any `n − 1` rooted
+//!   trees (with self-loops) is nonsplit: [`product_of`] +
+//!   [`cfn_product_is_nonsplit`], with the tightness witness
+//!   ([`split_path_power`]) showing `n − 2` does not suffice.
+//! * **[FNW20] dissemination** — sequences of nonsplit graphs broadcast in
+//!   `O(log log n)` rounds: [`broadcast_time_nonsplit`] measured against
+//!   [`treecast_core::bounds::fnw_reference`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use treecast_nonsplit::{cfn_product_is_nonsplit, random_tree_sequence};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let trees = random_tree_sequence(8, 7, &mut rng); // n − 1 trees
+//! assert!(cfn_product_is_nonsplit(&trees));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+
+use treecast_bitmatrix::BoolMatrix;
+use treecast_core::BroadcastState;
+use treecast_trees::{random, RootedTree};
+
+/// The product `T₁∘…∘T_k` of a tree sequence, self-loops included
+/// (Definition 2.1 iterated).
+///
+/// # Panics
+///
+/// Panics if `trees` is empty or sizes disagree.
+pub fn product_of(trees: &[RootedTree]) -> BoolMatrix {
+    assert!(!trees.is_empty(), "product of an empty sequence is undefined");
+    let mut acc = trees[0].to_matrix(true);
+    for t in &trees[1..] {
+        acc = acc.compose(&t.to_matrix(true));
+    }
+    acc
+}
+
+/// The Charron-Bost–Függer–Nowak lemma, executable: is the product of this
+/// tree sequence nonsplit? (True whenever `trees.len() ≥ n − 1`.)
+pub fn cfn_product_is_nonsplit(trees: &[RootedTree]) -> bool {
+    product_of(trees).is_nonsplit()
+}
+
+/// A sequence of `k` uniform random rooted trees on `n` nodes.
+pub fn random_tree_sequence<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<RootedTree> {
+    (0..k).map(|_| random::uniform(n, rng)).collect()
+}
+
+/// The tightness witness for the CFN lemma: the product of `n − 2` copies
+/// of the path is **split** (nodes `0` and `n − 1` share no in-neighbor),
+/// so `n − 1` in the lemma cannot be improved.
+///
+/// Returns the split product matrix.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+///
+/// # Examples
+///
+/// ```
+/// use treecast_nonsplit::split_path_power;
+/// assert!(!split_path_power(6).is_nonsplit());
+/// ```
+pub fn split_path_power(n: usize) -> BoolMatrix {
+    assert!(n >= 3, "need at least 3 nodes for a split power");
+    let path = treecast_trees::generators::path(n);
+    let seq: Vec<RootedTree> = vec![path; n - 2];
+    let product = product_of(&seq);
+    debug_assert!(!product.is_nonsplit());
+    product
+}
+
+/// Generators for random and adversarial nonsplit round graphs.
+pub mod generators {
+    use super::*;
+
+    /// A reflexive star-based nonsplit graph: one random hub points to
+    /// everyone (making all pairs share the hub), plus a sprinkle of
+    /// `extra` random edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn star_based<R: Rng + ?Sized>(n: usize, extra: usize, rng: &mut R) -> BoolMatrix {
+        assert!(n > 0, "graph needs at least one node");
+        let hub = rng.gen_range(0..n);
+        let mut m = BoolMatrix::identity(n);
+        for y in 0..n {
+            m.set(hub, y, true);
+        }
+        for _ in 0..extra {
+            m.set(rng.gen_range(0..n), rng.gen_range(0..n), true);
+        }
+        m
+    }
+
+    /// A *sparse* nonsplit graph: every unordered pair of nodes is
+    /// assigned a random common in-neighbor, and nothing else (apart from
+    /// self-loops). In-neighbors are spread to keep rows slim — the
+    /// adversarially interesting end of the nonsplit spectrum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn pairwise_min<R: Rng + ?Sized>(n: usize, rng: &mut R) -> BoolMatrix {
+        assert!(n > 0, "graph needs at least one node");
+        let mut m = BoolMatrix::identity(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let z = rng.gen_range(0..n);
+                m.set(z, a, true);
+                m.set(z, b, true);
+            }
+        }
+        debug_assert!(m.is_nonsplit());
+        m
+    }
+
+    /// The nonsplit graph arising as a product of `n − 1` random rooted
+    /// trees — the CFN construction itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn tree_product<R: Rng + ?Sized>(n: usize, rng: &mut R) -> BoolMatrix {
+        if n == 1 {
+            return BoolMatrix::identity(1);
+        }
+        product_of(&random_tree_sequence(n, n - 1, rng))
+    }
+
+    /// The deterministic **grid** nonsplit graph — the sparsest classic
+    /// construction, with out-degrees `Θ(√n)`.
+    ///
+    /// Nodes are laid on a `⌈√n⌉ × ⌈√n⌉` grid (last row possibly partial);
+    /// node `z` points to every node sharing its row or column. Any two
+    /// nodes `y₁, y₂` have the "corner" `(row(y₁), col(y₂))` (or a same-row
+    /// fallback) as a common in-neighbor, so the graph is nonsplit while
+    /// keeping every reach set near the `Θ(√n)` information-theoretic
+    /// minimum — the adversarially *slowest* nonsplit round, which is what
+    /// makes the FNW `log log n` growth visible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use treecast_nonsplit::generators::grid;
+    /// let g = grid(16);
+    /// assert!(g.is_nonsplit());
+    /// assert!(g.row_weights().iter().all(|&w| w <= 8)); // 2·√16 − 1 + loop
+    /// ```
+    pub fn grid(n: usize) -> BoolMatrix {
+        assert!(n > 0, "graph needs at least one node");
+        let side = (1..).find(|s| s * s >= n).expect("finite n");
+        let mut m = BoolMatrix::identity(n);
+        for z in 0..n {
+            let (zr, zc) = (z / side, z % side);
+            for y in 0..n {
+                let (yr, yc) = (y / side, y % side);
+                if yr == zr || yc == zc {
+                    m.set(z, y, true);
+                }
+            }
+        }
+        debug_assert!(m.is_nonsplit());
+        m
+    }
+}
+
+/// Plays the deterministic sparse [`generators::grid`] graph every round —
+/// the slowest nonsplit adversary in the crate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GridNonsplit;
+
+impl MatrixSource for GridNonsplit {
+    fn next_matrix<R: Rng + ?Sized>(
+        &mut self,
+        state: &BroadcastState,
+        _rng: &mut R,
+    ) -> BoolMatrix {
+        generators::grid(state.n())
+    }
+}
+
+/// Produces the round-`t` nonsplit matrix given the current state.
+pub trait MatrixSource {
+    /// The next round's (nonsplit) graph.
+    fn next_matrix<R: Rng + ?Sized>(&mut self, state: &BroadcastState, rng: &mut R)
+        -> BoolMatrix;
+}
+
+/// Plays a fresh sparse random nonsplit graph every round.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomNonsplit;
+
+impl MatrixSource for RandomNonsplit {
+    fn next_matrix<R: Rng + ?Sized>(
+        &mut self,
+        state: &BroadcastState,
+        rng: &mut R,
+    ) -> BoolMatrix {
+        generators::pairwise_min(state.n(), rng)
+    }
+}
+
+/// Greedy delaying adversary over nonsplit rounds: samples `pool` sparse
+/// candidates and plays the one minimizing the largest reach set — the
+/// nonsplit analogue of the tree adversaries' objectives.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyNonsplit {
+    /// Candidates sampled per round.
+    pub pool: usize,
+}
+
+impl Default for GreedyNonsplit {
+    fn default() -> Self {
+        GreedyNonsplit { pool: 8 }
+    }
+}
+
+impl MatrixSource for GreedyNonsplit {
+    fn next_matrix<R: Rng + ?Sized>(
+        &mut self,
+        state: &BroadcastState,
+        rng: &mut R,
+    ) -> BoolMatrix {
+        let n = state.n();
+        let mut best: Option<(usize, BoolMatrix)> = None;
+        for _ in 0..self.pool.max(1) {
+            let candidate = generators::pairwise_min(n, rng);
+            let mut after = state.clone();
+            after.apply_matrix(&candidate);
+            let max_reach = after.reach_weights().into_iter().max().unwrap_or(0);
+            if best.as_ref().map(|(b, _)| max_reach < *b).unwrap_or(true) {
+                best = Some((max_reach, candidate));
+            }
+        }
+        best.expect("pool ≥ 1").1
+    }
+}
+
+/// Rounds until some node has reached everyone under a nonsplit-round
+/// source, or `None` if `cap` rounds pass first.
+///
+/// The Függer–Nowak–Winkler bound predicts `O(log log n)`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use treecast_nonsplit::{broadcast_time_nonsplit, RandomNonsplit};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let t = broadcast_time_nonsplit(64, &mut RandomNonsplit, 100, &mut rng).unwrap();
+/// assert!(t <= 16, "nonsplit dissemination is doubly logarithmic, got {t}");
+/// ```
+pub fn broadcast_time_nonsplit<S: MatrixSource, R: Rng + ?Sized>(
+    n: usize,
+    source: &mut S,
+    cap: u64,
+    rng: &mut R,
+) -> Option<u64> {
+    let mut state = BroadcastState::new(n);
+    while state.broadcast_witness().is_none() {
+        if state.round() >= cap {
+            return None;
+        }
+        let m = source.next_matrix(&state, rng);
+        debug_assert!(m.is_nonsplit(), "source must produce nonsplit rounds");
+        state.apply_matrix(&m);
+    }
+    Some(state.round())
+}
+
+/// Rounds until everyone has heard everyone (gossip) under nonsplit
+/// rounds, or `None` at `cap`.
+pub fn gossip_time_nonsplit<S: MatrixSource, R: Rng + ?Sized>(
+    n: usize,
+    source: &mut S,
+    cap: u64,
+    rng: &mut R,
+) -> Option<u64> {
+    let mut state = BroadcastState::new(n);
+    while !state.is_gossip_complete() {
+        if state.round() >= cap {
+            return None;
+        }
+        let m = source.next_matrix(&state, rng);
+        state.apply_matrix(&m);
+    }
+    Some(state.round())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use treecast_trees::generators as treegen;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xBEEF)
+    }
+
+    #[test]
+    fn cfn_lemma_holds_for_random_sequences() {
+        let mut rng = rng();
+        for n in [2usize, 3, 5, 8, 12, 20] {
+            for _ in 0..10 {
+                let trees = random_tree_sequence(n, n.saturating_sub(1).max(1), &mut rng);
+                assert!(
+                    cfn_product_is_nonsplit(&trees),
+                    "CFN lemma violated at n = {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cfn_lemma_is_tight() {
+        for n in [3usize, 5, 9, 17] {
+            assert!(
+                !split_path_power(n).is_nonsplit(),
+                "n − 2 path powers must stay split at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn product_of_structured_families_nonsplit() {
+        // n − 1 products of mixed deterministic families.
+        let n = 7;
+        let trees: Vec<RootedTree> = vec![
+            treegen::path(n),
+            treegen::star(n),
+            treegen::broom(n, 3),
+            treegen::caterpillar(n, 2),
+            treegen::spider(n, 2),
+            treegen::complete_binary(n),
+        ];
+        assert_eq!(trees.len(), n - 1);
+        assert!(cfn_product_is_nonsplit(&trees));
+    }
+
+    #[test]
+    fn generators_produce_nonsplit() {
+        let mut rng = rng();
+        for n in [1usize, 2, 5, 16, 33] {
+            assert!(generators::star_based(n, 5, &mut rng).is_nonsplit());
+            assert!(generators::pairwise_min(n, &mut rng).is_nonsplit());
+            assert!(generators::tree_product(n, &mut rng).is_nonsplit());
+        }
+    }
+
+    #[test]
+    fn grid_is_nonsplit_even_when_truncated() {
+        // Perfect squares and awkward sizes alike.
+        for n in [1usize, 2, 3, 5, 7, 10, 12, 16, 17, 24, 26, 50, 100, 101] {
+            let g = generators::grid(n);
+            assert!(g.is_nonsplit(), "grid({n}) split");
+        }
+    }
+
+    #[test]
+    fn grid_rows_are_sqrt_thin() {
+        let n = 100;
+        let g = generators::grid(n);
+        let max_row = g.row_weights().into_iter().max().unwrap();
+        assert!(max_row <= 19, "grid rows must be Θ(√n), got {max_row}");
+    }
+
+    #[test]
+    fn grid_dissemination_shows_loglog_growth() {
+        let mut rng = rng();
+        let mut prev = 0;
+        for n in [16usize, 256, 4096] {
+            let t = broadcast_time_nonsplit(n, &mut GridNonsplit, 100, &mut rng)
+                .expect("grid rounds broadcast");
+            assert!(t >= prev, "dissemination must not shrink with n");
+            assert!(t <= 10, "n = {n}: grid dissemination {t} too slow");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn reflexive_nonsplit_products_stay_nonsplit() {
+        let mut rng = rng();
+        let n = 9;
+        let a = generators::pairwise_min(n, &mut rng);
+        let b = generators::pairwise_min(n, &mut rng);
+        assert!(a.compose(&b).is_nonsplit());
+    }
+
+    #[test]
+    fn dissemination_is_fast() {
+        let mut rng = rng();
+        for n in [8usize, 32, 128] {
+            let t = broadcast_time_nonsplit(n, &mut RandomNonsplit, 200, &mut rng)
+                .expect("random nonsplit rounds must broadcast quickly");
+            // Extremely loose double-log sanity envelope.
+            assert!(t <= 24, "n = {n}: took {t} rounds");
+        }
+    }
+
+    #[test]
+    fn greedy_delays_at_least_as_long_as_random() {
+        let n = 32;
+        let trials = 5;
+        let mut rng = rng();
+        let mut total_rand = 0;
+        let mut total_greedy = 0;
+        for _ in 0..trials {
+            total_rand +=
+                broadcast_time_nonsplit(n, &mut RandomNonsplit, 500, &mut rng).unwrap();
+            total_greedy +=
+                broadcast_time_nonsplit(n, &mut GreedyNonsplit::default(), 500, &mut rng)
+                    .unwrap();
+        }
+        assert!(
+            total_greedy + trials >= total_rand,
+            "greedy ({total_greedy}) should not be much faster than random ({total_rand})"
+        );
+    }
+
+    #[test]
+    fn gossip_takes_at_least_broadcast() {
+        let mut rng = rng();
+        let n = 16;
+        let g = gossip_time_nonsplit(n, &mut RandomNonsplit, 500, &mut rng).unwrap();
+        let mut rng2 = StdRng::seed_from_u64(0xBEEF);
+        let b = broadcast_time_nonsplit(n, &mut RandomNonsplit, 500, &mut rng2).unwrap();
+        assert!(g >= b, "gossip {g} earlier than broadcast {b} on same seed");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_product_panics() {
+        product_of(&[]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Exact worst-case broadcast time `t*(T_n)` for small `n`.
+//!
+//! The paper proves `⌈(3n−1)/2⌉ − 2 ≤ t*(T_n) ≤ ⌈(1+√2)n − 1⌉` but computes
+//! no exact values; this crate closes that loop experimentally by solving
+//! the adversary's optimization exactly for small sizes (in practice
+//! `n ≤ 6` in seconds, `n = 7` with patience — see the bench crate):
+//!
+//! * [`solve`] / [`solve_with`] — memoized longest-path search over packed
+//!   product-graph states with isomorphism reduction ([`CanonMode`]) and
+//!   dominance pruning.
+//! * [`SolveResult`] carries an optimal adversary tree sequence, which
+//!   [`verify_schedule`] replays through the public simulation engine as an
+//!   end-to-end consistency check.
+//!
+//! # Examples
+//!
+//! ```
+//! use treecast_core::bounds;
+//! use treecast_solver::{solve, verify_schedule};
+//!
+//! let result = solve(4)?;
+//! // Theorem 3.1 sandwich holds for the exact optimum…
+//! assert!(bounds::lower_bound(4) <= result.t_star);
+//! assert!(result.t_star <= bounds::upper_bound(4));
+//! // …and the optimal schedule replays to the same value.
+//! assert_eq!(verify_schedule(4, &result.schedule), result.t_star);
+//! # Ok::<(), treecast_solver::SolveError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod canon;
+mod pool;
+mod search;
+pub mod state;
+
+pub use canon::{canonicalize, permute, CanonMode};
+pub use pool::TreePool;
+pub use search::{
+    solve, solve_with, verify_schedule, SolveError, SolveOptions, SolveResult, SolveStats,
+};

@@ -1,0 +1,167 @@
+//! The enumerated adversary pool `T_n`, in transition-ready form.
+//!
+//! All `n^(n−1)` labeled rooted trees are stored as flattened reverse-BFS
+//! `(child, parent)` pair lists — 2 bytes per edge — so even `n = 8`
+//! (2,097,152 trees) fits comfortably in memory and each state expansion
+//! streams through the pool cache-friendly.
+
+use treecast_trees::{enumerate, RootedTree};
+
+use crate::state::transition_edges;
+
+/// Every rooted tree on `n ≤ 8` nodes, as packed transition edge lists.
+#[derive(Debug, Clone)]
+pub struct TreePool {
+    n: usize,
+    count: usize,
+    /// Concatenated `(child, parent)` pairs; tree `i` owns the slice
+    /// `[i·(n−1), (i+1)·(n−1))`.
+    pairs: Vec<(u8, u8)>,
+}
+
+impl TreePool {
+    /// Enumerates and packs the full pool for `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 8` (see
+    /// [`treecast_trees::enumerate::MAX_ENUM_N`]).
+    pub fn new(n: usize) -> Self {
+        let mut pairs = Vec::new();
+        let mut count = 0usize;
+        enumerate::for_each_rooted_tree(n, |t| {
+            pairs.extend(transition_edges(t));
+            count += 1;
+        });
+        TreePool { n, count, pairs }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of trees (`n^(n−1)`).
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Returns `true` if the pool is empty (never, for valid `n`).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The reverse-BFS transition edges of tree `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn edges(&self, i: usize) -> &[(u8, u8)] {
+        let stride = self.n - 1;
+        &self.pairs[i * stride..(i + 1) * stride]
+    }
+
+    /// Reconstructs tree `i` as a full [`RootedTree`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn tree(&self, i: usize) -> RootedTree {
+        let mut parent = vec![None; self.n];
+        for &(c, p) in self.edges(i) {
+            parent[c as usize] = Some(p as usize);
+        }
+        RootedTree::from_parents(parent).expect("pool entries are valid trees")
+    }
+
+    /// Iterates over all transition edge lists.
+    pub fn iter_edges(&self) -> impl Iterator<Item = &[(u8, u8)]> {
+        let stride = self.n - 1;
+        if stride == 0 {
+            // n = 1: one tree, no edges.
+            EitherIter::Single(std::iter::once(&self.pairs[..]))
+        } else {
+            EitherIter::Chunks(self.pairs.chunks_exact(stride))
+        }
+    }
+}
+
+/// Tiny either-iterator so `iter_edges` handles the `n = 1` edge case
+/// without boxing.
+enum EitherIter<'a> {
+    Single(std::iter::Once<&'a [(u8, u8)]>),
+    Chunks(std::slice::ChunksExact<'a, (u8, u8)>),
+}
+
+impl<'a> Iterator for EitherIter<'a> {
+    type Item = &'a [(u8, u8)];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            EitherIter::Single(it) => it.next(),
+            EitherIter::Chunks(it) => it.next(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treecast_trees::enumerate::count_rooted_trees;
+
+    #[test]
+    fn pool_sizes_match_cayley() {
+        for n in 1..=6 {
+            let pool = TreePool::new(n);
+            assert_eq!(pool.len() as u128, count_rooted_trees(n), "n = {n}");
+            assert!(!pool.is_empty());
+        }
+    }
+
+    #[test]
+    fn reconstructed_trees_are_valid_and_distinct() {
+        let pool = TreePool::new(4);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..pool.len() {
+            let t = pool.tree(i);
+            assert_eq!(t.n(), 4);
+            seen.insert(t.parents().to_vec());
+        }
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn edges_are_reverse_bfs() {
+        let pool = TreePool::new(5);
+        for i in 0..pool.len() {
+            let edges = pool.edges(i);
+            assert_eq!(edges.len(), 4);
+            // Reverse BFS: when (child, parent) is applied, the parent's
+            // row must still be old, i.e. no earlier pair updated it.
+            for (pos, &(_, p)) in edges.iter().enumerate() {
+                for &(c2, _) in &edges[..pos] {
+                    assert_ne!(c2, p, "parent row updated before use in tree {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_pool() {
+        let pool = TreePool::new(1);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.iter_edges().count(), 1);
+        assert!(pool.edges(0).is_empty());
+        assert_eq!(pool.tree(0).n(), 1);
+    }
+
+    #[test]
+    fn iter_edges_matches_indexed_access() {
+        let pool = TreePool::new(4);
+        for (i, e) in pool.iter_edges().enumerate() {
+            assert_eq!(e, pool.edges(i));
+        }
+        assert_eq!(pool.iter_edges().count(), pool.len());
+    }
+}

@@ -1,0 +1,417 @@
+//! The exact search: `t*(T_n)` as a longest path over product-graph states.
+//!
+//! Because every round tree carries self-loops, states grow monotonically
+//! (`S ⊆ S∘T`), and the paper's strict-progress observation means every
+//! pre-broadcast round adds at least one edge — so the reachable state
+//! space is a DAG graded by edge count and the recursion
+//!
+//! ```text
+//! L(S) = 0                          if S has a broadcast witness
+//! L(S) = 1 + max_{T ∈ T_n} L(S∘T)  otherwise
+//! ```
+//!
+//! terminates with `t*(T_n) = L(I)`. Three accelerations keep it tractable:
+//!
+//! 1. **Memoization on canonical orbit representatives** ([`CanonMode`]) —
+//!    `t*` is invariant under process relabeling.
+//! 2. **Successor dedup** — thousands of trees collapse to few distinct
+//!    successor states.
+//! 3. **Dominance pruning** — if `S₁ ⊆ S₂` then `L(S₁) ≥ L(S₂)` (more
+//!    edges never slow broadcast), so only ⊆-minimal successors are
+//!    recursed.
+
+use std::collections::HashMap;
+
+use treecast_core::{simulate, SequenceSource, SimulationConfig};
+use treecast_trees::RootedTree;
+
+use crate::canon::{canonicalize, CanonMode};
+use crate::pool::TreePool;
+use crate::state::{apply_tree, has_witness, identity_state};
+
+/// Configuration for [`solve_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct SolveOptions {
+    /// Isomorphism-reduction policy (default [`CanonMode::Exact`]).
+    pub canon: CanonMode,
+    /// Abort if the memo table exceeds this many states.
+    pub max_states: usize,
+    /// Skip extracting an optimal schedule (saves a second descent).
+    pub skip_schedule: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            canon: CanonMode::Exact,
+            max_states: 50_000_000,
+            skip_schedule: false,
+        }
+    }
+}
+
+/// Failure modes of the exact solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// `n` outside the supported `1..=8`.
+    UnsupportedN {
+        /// The requested size.
+        n: usize,
+    },
+    /// The memo table outgrew [`SolveOptions::max_states`].
+    StateLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl core::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            SolveError::UnsupportedN { n } => {
+                write!(f, "exact solving supports 1 ≤ n ≤ 8, got {n}")
+            }
+            SolveError::StateLimit { limit } => {
+                write!(f, "state limit {limit} exceeded; raise SolveOptions::max_states")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Search statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Distinct (canonical) states memoized.
+    pub states_explored: usize,
+    /// Memo-table hits.
+    pub memo_hits: u64,
+    /// Successors skipped by dominance pruning.
+    pub dominated_pruned: u64,
+    /// Raw successor evaluations (tree applications).
+    pub transitions: u64,
+}
+
+/// The result of an exact solve.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// Number of processes.
+    pub n: usize,
+    /// The exact worst-case broadcast time `t*(T_n)`.
+    pub t_star: u64,
+    /// An optimal adversary schedule achieving `t_star` (empty when
+    /// [`SolveOptions::skip_schedule`] was set or `t_star == 0`).
+    pub schedule: Vec<RootedTree>,
+    /// Search statistics.
+    pub stats: SolveStats,
+}
+
+/// Computes the exact `t*(T_n)` with default options.
+///
+/// # Errors
+///
+/// Returns [`SolveError::UnsupportedN`] for `n == 0` or `n > 8`, or
+/// [`SolveError::StateLimit`] if the state space outgrows the default cap.
+///
+/// # Examples
+///
+/// ```
+/// use treecast_solver::solve;
+/// // Two processes: one round of either tree broadcasts.
+/// assert_eq!(solve(2)?.t_star, 1);
+/// // Three processes: the adversary can stretch to 3 rounds.
+/// let r3 = solve(3)?;
+/// assert!(r3.t_star >= treecast_core::bounds::lower_bound(3));
+/// # Ok::<(), treecast_solver::SolveError>(())
+/// ```
+pub fn solve(n: usize) -> Result<SolveResult, SolveError> {
+    solve_with(n, SolveOptions::default())
+}
+
+/// Computes the exact `t*(T_n)` with explicit options.
+///
+/// # Errors
+///
+/// See [`solve`].
+pub fn solve_with(n: usize, options: SolveOptions) -> Result<SolveResult, SolveError> {
+    if !(1..=8).contains(&n) {
+        return Err(SolveError::UnsupportedN { n });
+    }
+    let pool = TreePool::new(n);
+    let mut memo: HashMap<u64, u32> = HashMap::new();
+    let mut stats = SolveStats::default();
+    let start = identity_state(n);
+    let t_star = longest(start, n, &pool, options, &mut memo, &mut stats)? as u64;
+    stats.states_explored = memo.len();
+
+    let schedule = if options.skip_schedule || t_star == 0 {
+        Vec::new()
+    } else {
+        extract_schedule(n, t_star, &pool, options, &mut memo, &mut stats)?
+    };
+
+    Ok(SolveResult {
+        n,
+        t_star,
+        schedule,
+        stats,
+    })
+}
+
+/// `L(state)` with memoization.
+fn longest(
+    state: u64,
+    n: usize,
+    pool: &TreePool,
+    options: SolveOptions,
+    memo: &mut HashMap<u64, u32>,
+    stats: &mut SolveStats,
+) -> Result<u32, SolveError> {
+    if has_witness(state, n) {
+        return Ok(0);
+    }
+    let key = canonicalize(state, n, options.canon);
+    if let Some(&v) = memo.get(&key) {
+        stats.memo_hits += 1;
+        return Ok(v);
+    }
+    if memo.len() >= options.max_states {
+        return Err(SolveError::StateLimit {
+            limit: options.max_states,
+        });
+    }
+
+    let successors = minimal_successors(key, n, pool, stats);
+    let mut best = 0u32;
+    for (succ, _tree_idx) in successors {
+        let l = longest(succ, n, pool, options, memo, stats)?;
+        if l > best {
+            best = l;
+        }
+    }
+    let value = best + 1;
+    memo.insert(key, value);
+    Ok(value)
+}
+
+/// Unique, ⊆-minimal successor states of `state`, each with one tree index
+/// that produces it.
+fn minimal_successors(
+    state: u64,
+    n: usize,
+    pool: &TreePool,
+    stats: &mut SolveStats,
+) -> Vec<(u64, usize)> {
+    // Dedup raw successors.
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    for (i, edges) in pool.iter_edges().enumerate() {
+        let succ = apply_tree(state, n, edges);
+        stats.transitions += 1;
+        seen.entry(succ).or_insert(i);
+    }
+    // Keep ⊆-minimal states: sort by popcount ascending; a state is kept
+    // iff no kept state is a subset of it.
+    let mut ordered: Vec<(u64, usize)> = seen.into_iter().collect();
+    ordered.sort_unstable_by_key(|&(s, _)| (s.count_ones(), s));
+    let mut minimal: Vec<(u64, usize)> = Vec::new();
+    'outer: for (s, i) in ordered {
+        for &(kept, _) in &minimal {
+            if kept & !s == 0 {
+                // kept ⊆ s: s is dominated (broadcasts no later).
+                stats.dominated_pruned += 1;
+                continue 'outer;
+            }
+        }
+        minimal.push((s, i));
+    }
+    minimal
+}
+
+/// Re-derives an optimal schedule by greedy descent through the memo.
+fn extract_schedule(
+    n: usize,
+    t_star: u64,
+    pool: &TreePool,
+    options: SolveOptions,
+    memo: &mut HashMap<u64, u32>,
+    stats: &mut SolveStats,
+) -> Result<Vec<RootedTree>, SolveError> {
+    let mut schedule = Vec::with_capacity(t_star as usize);
+    let mut state = identity_state(n);
+    let mut remaining = t_star;
+    while remaining > 0 {
+        // Expand the RAW state (canonicalizing here would break the
+        // replayability of the tree chain); only memo lookups go through
+        // canonical keys, which is sound because L is orbit-invariant.
+        let successors = minimal_successors(state, n, pool, stats);
+        let mut advanced = false;
+        for (succ, tree_idx) in successors {
+            let l = if has_witness(succ, n) {
+                0
+            } else {
+                match memo.get(&canonicalize(succ, n, options.canon)) {
+                    Some(&v) => v,
+                    None => longest(succ, n, pool, options, memo, stats)?,
+                }
+            };
+            if u64::from(l) == remaining - 1 {
+                schedule.push(pool.tree(tree_idx));
+                state = succ;
+                remaining -= 1;
+                advanced = true;
+                break;
+            }
+        }
+        assert!(
+            advanced,
+            "no successor matched the memoized depth; memo inconsistent"
+        );
+    }
+    debug_assert!(has_witness(state, n));
+    Ok(schedule)
+}
+
+/// Replays a schedule through the public simulation engine and returns the
+/// measured broadcast time — an end-to-end check that solver and model
+/// agree.
+///
+/// # Panics
+///
+/// Panics if the schedule never broadcasts within `8n + 16` rounds.
+pub fn verify_schedule(n: usize, schedule: &[RootedTree]) -> u64 {
+    let mut source = SequenceSource::new(schedule.to_vec())
+        .with_label(format!("solver-optimal(n={n})"));
+    let report = simulate(n, &mut source, SimulationConfig::for_n(n));
+    report.broadcast_time_or_panic()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as Map;
+    use treecast_bitmatrix::BoolMatrix;
+    use treecast_core::bounds;
+    use treecast_trees::enumerate;
+
+    /// Entirely independent brute-force reference: BoolMatrix states, no
+    /// packing, no canonicalization, no pruning.
+    fn brute_t_star(n: usize) -> u64 {
+        let trees: Vec<BoolMatrix> = {
+            let mut v = Vec::new();
+            enumerate::for_each_rooted_tree(n, |t| v.push(t.to_matrix(true)));
+            v
+        };
+        fn rec(
+            s: &BoolMatrix,
+            trees: &[BoolMatrix],
+            memo: &mut Map<String, u64>,
+        ) -> u64 {
+            if s.has_full_row() {
+                return 0;
+            }
+            let key = s.to_string();
+            if let Some(&v) = memo.get(&key) {
+                return v;
+            }
+            let mut best = 0;
+            for t in trees {
+                let next = s.compose(t);
+                best = best.max(rec(&next, trees, memo));
+            }
+            memo.insert(key, best + 1);
+            best + 1
+        }
+        rec(
+            &BoolMatrix::identity(n),
+            &trees,
+            &mut Map::new(),
+        )
+    }
+
+    #[test]
+    fn tiny_cases_match_brute_force() {
+        for n in 1..=4 {
+            let exact = solve(n).unwrap();
+            assert_eq!(exact.t_star, brute_t_star(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn n2_and_known_structure() {
+        let r = solve(2).unwrap();
+        assert_eq!(r.t_star, 1);
+        assert_eq!(r.schedule.len(), 1);
+    }
+
+    #[test]
+    fn all_canon_modes_agree() {
+        for n in 2..=4 {
+            let exact = solve_with(n, SolveOptions { canon: CanonMode::Exact, ..Default::default() })
+                .unwrap()
+                .t_star;
+            let fast = solve_with(n, SolveOptions { canon: CanonMode::Fast, ..Default::default() })
+                .unwrap()
+                .t_star;
+            let none = solve_with(n, SolveOptions { canon: CanonMode::None, ..Default::default() })
+                .unwrap()
+                .t_star;
+            assert_eq!(exact, fast, "n = {n}");
+            assert_eq!(exact, none, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn t_star_respects_theorem_sandwich() {
+        for n in 1..=5u64 {
+            let r = solve(n as usize).unwrap();
+            assert!(
+                r.t_star <= bounds::upper_bound(n),
+                "n = {n}: t* = {} above upper bound {}",
+                r.t_star,
+                bounds::upper_bound(n)
+            );
+            assert!(
+                r.t_star >= bounds::lower_bound(n),
+                "n = {n}: t* = {} below lower bound {}",
+                r.t_star,
+                bounds::lower_bound(n)
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_replays_to_t_star() {
+        for n in 2..=5 {
+            let r = solve(n).unwrap();
+            assert_eq!(r.schedule.len() as u64, r.t_star);
+            let measured = verify_schedule(n, &r.schedule);
+            assert_eq!(measured, r.t_star, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn unsupported_sizes_error() {
+        assert!(matches!(solve(0), Err(SolveError::UnsupportedN { n: 0 })));
+        assert!(matches!(solve(9), Err(SolveError::UnsupportedN { n: 9 })));
+    }
+
+    #[test]
+    fn state_limit_triggers() {
+        let r = solve_with(
+            5,
+            SolveOptions {
+                max_states: 3,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(r, Err(SolveError::StateLimit { limit: 3 })));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let r = solve(4).unwrap();
+        assert!(r.stats.states_explored > 0);
+        assert!(r.stats.transitions > 0);
+    }
+}

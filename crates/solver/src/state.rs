@@ -1,0 +1,181 @@
+//! Packed product-graph states and the round transition.
+//!
+//! The solver stores the product graph `G(t)` in **column view** packed
+//! into a single `u64` (n ≤ 8): bit `y·n + x` means `x ∈ heard[y]`, i.e.
+//! `(x, y) ∈ G(t)`. Applying a rooted tree costs one shift+OR per edge,
+//! and the broadcast test is an AND-fold over rows.
+
+use treecast_bitmatrix::PackedMatrix;
+use treecast_core::BroadcastState;
+use treecast_trees::RootedTree;
+
+/// The identity state `G(0)`: every node has heard only from itself.
+#[inline]
+pub fn identity_state(n: usize) -> u64 {
+    debug_assert!((1..=8).contains(&n));
+    let mut s = 0u64;
+    for v in 0..n {
+        s |= 1u64 << (v * n + v);
+    }
+    s
+}
+
+/// Mask selecting one row (`n` low bits).
+#[inline]
+pub fn row_mask(n: usize) -> u64 {
+    (1u64 << n) - 1
+}
+
+/// Tree edges as `(child, parent)` pairs in **reverse BFS order** (children
+/// before parents), precomputed so the transition can update in place while
+/// still reading old parent rows.
+pub fn transition_edges(tree: &RootedTree) -> Vec<(u8, u8)> {
+    let order = tree.bfs_order();
+    order
+        .iter()
+        .rev()
+        .filter_map(|&y| tree.parent(y).map(|p| (y as u8, p as u8)))
+        .collect()
+}
+
+/// Applies one synchronous round along a tree given as reverse-BFS
+/// `(child, parent)` pairs: `heard[y] ∪= heard[parent(y)]`.
+#[inline]
+pub fn apply_tree(state: u64, n: usize, edges: &[(u8, u8)]) -> u64 {
+    let mask = row_mask(n);
+    let mut s = state;
+    for &(y, p) in edges {
+        let prow = (s >> (p as usize * n)) & mask;
+        s |= prow << (y as usize * n);
+    }
+    s
+}
+
+/// Returns `true` if some node has been heard by everyone: the AND of all
+/// heard-rows is nonempty (Definition 2.2).
+#[inline]
+pub fn has_witness(state: u64, n: usize) -> bool {
+    let mask = row_mask(n);
+    let mut acc = mask;
+    for y in 0..n {
+        acc &= state >> (y * n);
+        if acc & mask == 0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Number of edges of the product graph.
+#[inline]
+pub fn edge_count(state: u64) -> u32 {
+    state.count_ones()
+}
+
+/// Converts a packed column-view state into a [`BroadcastState`] at the
+/// given round (for interop with the simulation engine).
+pub fn to_broadcast_state(state: u64, n: usize, round: u64) -> BroadcastState {
+    // Packed rows are heard-sets; BroadcastState::from_product_matrix wants
+    // the row view, i.e. the transpose of what we store.
+    let heard = PackedMatrix::from_bits(n, state).to_matrix();
+    BroadcastState::from_product_matrix(&heard.transpose(), round)
+}
+
+/// Converts a [`BroadcastState`] into the packed column view.
+///
+/// # Panics
+///
+/// Panics if `state.n() > 8`.
+pub fn from_broadcast_state(state: &BroadcastState) -> u64 {
+    PackedMatrix::from_matrix(&state.heard_matrix()).bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treecast_trees::generators;
+
+    #[test]
+    fn identity_state_bits() {
+        assert_eq!(identity_state(1), 1);
+        assert_eq!(identity_state(2), 0b1001);
+        for n in 1..=8 {
+            assert_eq!(edge_count(identity_state(n)), n as u32);
+            assert_eq!(has_witness(identity_state(n), n), n == 1);
+        }
+    }
+
+    #[test]
+    fn apply_matches_core_model() {
+        let trees = [
+            generators::path(5),
+            generators::star(5),
+            generators::broom(5, 2),
+            generators::caterpillar(5, 3),
+            generators::spider(5, 2),
+        ];
+        let mut packed = identity_state(5);
+        let mut model = BroadcastState::new(5);
+        for (i, t) in trees.iter().enumerate() {
+            packed = apply_tree(packed, 5, &transition_edges(t));
+            model.apply(t);
+            assert_eq!(
+                packed,
+                from_broadcast_state(&model),
+                "diverged after round {}",
+                i + 1
+            );
+            assert_eq!(
+                has_witness(packed, 5),
+                model.broadcast_witness().is_some(),
+                "witness detection diverged after round {}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn star_gives_witness_in_one() {
+        let n = 6;
+        let s = apply_tree(
+            identity_state(n),
+            n,
+            &transition_edges(&generators::star(n)),
+        );
+        assert!(has_witness(s, n));
+    }
+
+    #[test]
+    fn path_needs_n_minus_1() {
+        let n = 6;
+        let edges = transition_edges(&generators::path(n));
+        let mut s = identity_state(n);
+        for round in 1..n {
+            assert!(!has_witness(s, n), "too early before round {round}");
+            s = apply_tree(s, n, &edges);
+        }
+        assert!(has_witness(s, n));
+    }
+
+    #[test]
+    fn roundtrip_broadcast_state() {
+        let n = 4;
+        let mut model = BroadcastState::new(n);
+        model.apply(&generators::broom(n, 2));
+        let packed = from_broadcast_state(&model);
+        let back = to_broadcast_state(packed, n, model.round());
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    fn n8_transition_is_safe() {
+        // Exercise the full-width case for shift safety.
+        let n = 8;
+        let edges = transition_edges(&generators::path(n));
+        let mut s = identity_state(n);
+        for _ in 0..n {
+            s = apply_tree(s, n, &edges);
+        }
+        assert!(has_witness(s, n));
+    }
+}

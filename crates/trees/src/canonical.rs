@@ -1,0 +1,130 @@
+//! Canonical forms for rooted trees (AHU encoding).
+//!
+//! Two rooted trees are isomorphic (as *unlabeled* rooted trees) iff their
+//! AHU codes match. The workspace uses this to de-duplicate structurally
+//! equivalent adversary candidates and to test that generators produce the
+//! shapes they promise under relabeling.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::tree::{NodeId, RootedTree};
+
+/// The AHU canonical code of the subtree rooted at `v`: `(` + the sorted
+/// codes of the children + `)`.
+fn code_of(tree: &RootedTree, v: NodeId) -> String {
+    let mut child_codes: Vec<String> = tree
+        .children(v)
+        .iter()
+        .map(|&c| code_of(tree, c))
+        .collect();
+    child_codes.sort_unstable();
+    let mut s = String::with_capacity(2 + child_codes.iter().map(String::len).sum::<usize>());
+    s.push('(');
+    for c in child_codes {
+        s.push_str(&c);
+    }
+    s.push(')');
+    s
+}
+
+/// The AHU canonical code of the whole tree.
+///
+/// Isomorphic rooted trees (ignoring labels) have equal codes; a leaf is
+/// `"()"`, a 3-path is `"((()))"`.
+///
+/// # Examples
+///
+/// ```
+/// use treecast_trees::{canonical::canonical_code, generators};
+/// assert_eq!(canonical_code(&generators::path(3)), "((()))");
+/// assert_eq!(canonical_code(&generators::star(3)), "(()())");
+/// ```
+pub fn canonical_code(tree: &RootedTree) -> String {
+    code_of(tree, tree.root())
+}
+
+/// A 64-bit hash of the canonical code, for cheap de-duplication.
+pub fn canonical_hash(tree: &RootedTree) -> u64 {
+    let mut h = DefaultHasher::new();
+    canonical_code(tree).hash(&mut h);
+    h.finish()
+}
+
+/// Returns `true` if the two rooted trees are isomorphic as unlabeled
+/// rooted trees.
+///
+/// # Examples
+///
+/// ```
+/// use treecast_trees::{canonical::are_isomorphic, generators};
+/// let a = generators::broom(7, 3);
+/// let b = a.relabel(&[6, 5, 4, 3, 2, 1, 0]);
+/// assert!(are_isomorphic(&a, &b));
+/// assert!(!are_isomorphic(&a, &generators::path(7)));
+/// ```
+pub fn are_isomorphic(a: &RootedTree, b: &RootedTree) -> bool {
+    a.n() == b.n() && canonical_code(a) == canonical_code(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{enumerate, generators};
+
+    #[test]
+    fn leaf_code() {
+        let single = RootedTree::from_parents(vec![None]).unwrap();
+        assert_eq!(canonical_code(&single), "()");
+    }
+
+    #[test]
+    fn relabeling_is_invariant() {
+        let t = generators::caterpillar(8, 4);
+        let r = t.relabel(&[7, 6, 5, 4, 3, 2, 1, 0]);
+        assert_eq!(canonical_code(&t), canonical_code(&r));
+        assert_eq!(canonical_hash(&t), canonical_hash(&r));
+    }
+
+    #[test]
+    fn distinguishes_shapes() {
+        let codes: Vec<String> = [
+            generators::path(6),
+            generators::star(6),
+            generators::broom(6, 3),
+            generators::spider(6, 2),
+            generators::complete_binary(6),
+        ]
+        .iter()
+        .map(canonical_code)
+        .collect();
+        let set: std::collections::HashSet<_> = codes.iter().collect();
+        assert_eq!(set.len(), codes.len(), "all five shapes distinct: {codes:?}");
+    }
+
+    #[test]
+    fn counts_unlabeled_rooted_trees() {
+        // OEIS A000081: number of unlabeled rooted trees on n nodes:
+        // 1, 1, 2, 4, 9, 20 for n = 1..6.
+        let expected = [1usize, 1, 2, 4, 9, 20];
+        for (i, &want) in expected.iter().enumerate() {
+            let n = i + 1;
+            if n > 6 {
+                break;
+            }
+            let mut codes = std::collections::HashSet::new();
+            enumerate::for_each_rooted_tree(n, |t| {
+                codes.insert(canonical_code(t));
+            });
+            assert_eq!(codes.len(), want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn root_placement_matters() {
+        // A 3-path rooted at the end vs rooted in the middle.
+        let end = generators::path(3);
+        let middle = RootedTree::from_parents(vec![Some(1), None, Some(1)]).unwrap();
+        assert!(!are_isomorphic(&end, &middle));
+    }
+}

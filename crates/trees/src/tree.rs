@@ -1,0 +1,695 @@
+//! The rooted labeled tree type and its validation.
+
+use core::fmt;
+
+use treecast_bitmatrix::{BoolMatrix, PackedMatrix};
+
+/// Index of a node in `{0, …, n−1}`.
+pub type NodeId = usize;
+
+/// Error returned when a parent array does not describe a rooted tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The tree has no nodes.
+    Empty,
+    /// More than one node has no parent.
+    MultipleRoots {
+        /// The first root encountered.
+        first: NodeId,
+        /// The second root encountered.
+        second: NodeId,
+    },
+    /// No node lacks a parent (so the structure contains a cycle).
+    NoRoot,
+    /// A node names a parent outside `{0, …, n−1}`.
+    ParentOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Its out-of-range parent.
+        parent: NodeId,
+        /// The number of nodes.
+        n: usize,
+    },
+    /// A node is its own parent.
+    SelfParent {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// Following parent pointers from `node` never reaches the root.
+    Cyclic {
+        /// A node on or leading into the cycle.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TreeError::Empty => write!(f, "a rooted tree needs at least one node"),
+            TreeError::MultipleRoots { first, second } => {
+                write!(f, "nodes {first} and {second} both lack a parent")
+            }
+            TreeError::NoRoot => write!(f, "every node has a parent, so there is no root"),
+            TreeError::ParentOutOfRange { node, parent, n } => {
+                write!(f, "node {node} names parent {parent}, outside 0..{n}")
+            }
+            TreeError::SelfParent { node } => write!(f, "node {node} is its own parent"),
+            TreeError::Cyclic { node } => {
+                write!(f, "parent pointers from node {node} never reach the root")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// A rooted labeled tree on nodes `{0, …, n−1}`, edges directed from parent
+/// to child (information flows away from the root).
+///
+/// This is one element of the paper's adversary pool `T_n`: at every round
+/// the adversary picks some `RootedTree`, the model adds a self-loop at
+/// every node, and information propagates along `parent → child` edges.
+///
+/// The representation is a validated parent array plus cached children
+/// lists and depths, so adversaries can traverse cheaply in both
+/// directions.
+///
+/// # Examples
+///
+/// ```
+/// use treecast_trees::RootedTree;
+///
+/// // The path 2 → 0 → 1 (rooted at 2).
+/// let t = RootedTree::from_parents(vec![Some(2), Some(0), None])?;
+/// assert_eq!(t.root(), 2);
+/// assert_eq!(t.depth(1), 2);
+/// assert_eq!(t.leaves(), vec![1]);
+/// # Ok::<(), treecast_trees::TreeError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RootedTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    depth: Vec<usize>,
+}
+
+impl RootedTree {
+    /// Builds a tree from a parent array; the unique `None` entry is the
+    /// root.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TreeError`] if the array is empty, has zero or multiple
+    /// `None` entries, names an out-of-range parent, or contains a cycle.
+    pub fn from_parents(parent: Vec<Option<NodeId>>) -> Result<Self, TreeError> {
+        let n = parent.len();
+        if n == 0 {
+            return Err(TreeError::Empty);
+        }
+        let mut root = None;
+        for (v, &p) in parent.iter().enumerate() {
+            match p {
+                None => match root {
+                    None => root = Some(v),
+                    Some(first) => {
+                        return Err(TreeError::MultipleRoots { first, second: v });
+                    }
+                },
+                Some(p) if p >= n => {
+                    return Err(TreeError::ParentOutOfRange { node: v, parent: p, n });
+                }
+                Some(p) if p == v => return Err(TreeError::SelfParent { node: v }),
+                Some(_) => {}
+            }
+        }
+        let root = root.ok_or(TreeError::NoRoot)?;
+
+        // Depth computation doubles as the acyclicity check: a walk to the
+        // root from any node must terminate within n steps.
+        let mut depth = vec![usize::MAX; n];
+        depth[root] = 0;
+        for v in 0..n {
+            if depth[v] != usize::MAX {
+                continue;
+            }
+            // Walk up until a node of known depth, recording the path.
+            let mut path = Vec::new();
+            let mut cur = v;
+            while depth[cur] == usize::MAX {
+                path.push(cur);
+                if path.len() > n {
+                    return Err(TreeError::Cyclic { node: v });
+                }
+                cur = parent[cur].expect("only the root lacks a parent");
+                if cur == v {
+                    return Err(TreeError::Cyclic { node: v });
+                }
+            }
+            let mut d = depth[cur];
+            for &u in path.iter().rev() {
+                d += 1;
+                depth[u] = d;
+            }
+        }
+
+        let mut children = vec![Vec::new(); n];
+        for (v, &p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                children[p].push(v);
+            }
+        }
+
+        Ok(RootedTree {
+            root,
+            parent,
+            children,
+            depth,
+        })
+    }
+
+    /// Builds a tree from `(parent, child)` edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TreeError`] if the edges do not form a rooted tree on
+    /// `{0, …, n−1}` (e.g. a node with two parents shows up as a cycle or a
+    /// lost root).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use treecast_trees::RootedTree;
+    /// let star = RootedTree::from_edges(4, [(0, 1), (0, 2), (0, 3)])?;
+    /// assert_eq!(star.root(), 0);
+    /// assert_eq!(star.leaf_count(), 3);
+    /// # Ok::<(), treecast_trees::TreeError>(())
+    /// ```
+    pub fn from_edges<I: IntoIterator<Item = (NodeId, NodeId)>>(
+        n: usize,
+        edges: I,
+    ) -> Result<Self, TreeError> {
+        if n == 0 {
+            return Err(TreeError::Empty);
+        }
+        let mut parent = vec![None; n];
+        let mut have_parent = vec![false; n];
+        for (p, c) in edges {
+            if c >= n {
+                return Err(TreeError::ParentOutOfRange { node: c, parent: p, n });
+            }
+            if p >= n {
+                return Err(TreeError::ParentOutOfRange { node: c, parent: p, n });
+            }
+            if have_parent[c] {
+                // Two parents: not a tree. Surface as a cycle at c.
+                return Err(TreeError::Cyclic { node: c });
+            }
+            have_parent[c] = true;
+            parent[c] = Some(p);
+        }
+        Self::from_parents(parent)
+    }
+
+    /// Builds a rooted tree from undirected edges by orienting everything
+    /// away from `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TreeError`] if the edges do not form a spanning tree of
+    /// `{0, …, n−1}` or `root` is out of range.
+    pub fn from_undirected_edges(
+        n: usize,
+        edges: &[(NodeId, NodeId)],
+        root: NodeId,
+    ) -> Result<Self, TreeError> {
+        if n == 0 {
+            return Err(TreeError::Empty);
+        }
+        if root >= n {
+            return Err(TreeError::ParentOutOfRange { node: root, parent: root, n });
+        }
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            if a >= n || b >= n {
+                return Err(TreeError::ParentOutOfRange { node: a.max(b), parent: a.min(b), n });
+            }
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut parent = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::from([root]);
+        visited[root] = true;
+        while let Some(v) = queue.pop_front() {
+            for &w in &adj[v] {
+                if !visited[w] {
+                    visited[w] = true;
+                    parent[w] = Some(v);
+                    queue.push_back(w);
+                }
+            }
+        }
+        if let Some(unreached) = visited.iter().position(|&v| !v) {
+            return Err(TreeError::Cyclic { node: unreached });
+        }
+        Self::from_parents(parent)
+    }
+
+    /// The number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The parent of `v`, or `None` for the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v]
+    }
+
+    /// The full parent array (root entry is `None`).
+    #[inline]
+    pub fn parents(&self) -> &[Option<NodeId>] {
+        &self.parent
+    }
+
+    /// The children of `v` in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v]
+    }
+
+    /// The depth of `v` (root has depth 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn depth(&self, v: NodeId) -> usize {
+        self.depth[v]
+    }
+
+    /// The height of the tree: the maximum depth.
+    pub fn height(&self) -> usize {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Returns `true` if `v` has no children.
+    ///
+    /// A single-node tree's root is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        self.children[v].is_empty()
+    }
+
+    /// Returns `true` if `v` has at least one child.
+    #[inline]
+    pub fn is_inner(&self, v: NodeId) -> bool {
+        !self.is_leaf(v)
+    }
+
+    /// All leaves, in increasing node order.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        (0..self.n()).filter(|&v| self.is_leaf(v)).collect()
+    }
+
+    /// Number of leaves.
+    ///
+    /// This is the quantity `k` of the Zeiner–Schwarz–Schmid restricted
+    /// adversary ("k leaves" row of Figure 1).
+    pub fn leaf_count(&self) -> usize {
+        (0..self.n()).filter(|&v| self.is_leaf(v)).count()
+    }
+
+    /// All inner (non-leaf) nodes, in increasing node order.
+    pub fn inner_nodes(&self) -> Vec<NodeId> {
+        (0..self.n()).filter(|&v| self.is_inner(v)).collect()
+    }
+
+    /// Number of inner nodes ("k inner nodes" row of Figure 1).
+    pub fn inner_count(&self) -> usize {
+        self.n() - self.leaf_count()
+    }
+
+    /// Nodes in breadth-first order starting at the root.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use treecast_trees::RootedTree;
+    /// let t = RootedTree::from_edges(4, [(0, 2), (2, 1), (2, 3)])?;
+    /// assert_eq!(t.bfs_order()[0], 0);
+    /// assert_eq!(t.bfs_order().len(), 4);
+    /// # Ok::<(), treecast_trees::TreeError>(())
+    /// ```
+    pub fn bfs_order(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.n());
+        let mut queue = std::collections::VecDeque::from([self.root]);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            queue.extend(self.children[v].iter().copied());
+        }
+        order
+    }
+
+    /// Nodes on the path from `v` up to and including the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn path_to_root(&self, v: NodeId) -> Vec<NodeId> {
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// Size of the subtree rooted at `v` (including `v`).
+    pub fn subtree_size(&self, v: NodeId) -> usize {
+        let mut count = 0;
+        let mut stack = vec![v];
+        while let Some(u) = stack.pop() {
+            count += 1;
+            stack.extend(self.children[u].iter().copied());
+        }
+        count
+    }
+
+    /// The set of nodes in the subtree rooted at `v`, as a bitset.
+    pub fn subtree_set(&self, v: NodeId) -> treecast_bitmatrix::BitSet {
+        let mut set = treecast_bitmatrix::BitSet::new(self.n());
+        let mut stack = vec![v];
+        while let Some(u) = stack.pop() {
+            set.insert(u);
+            stack.extend(self.children[u].iter().copied());
+        }
+        set
+    }
+
+    /// Returns `true` if the tree is a path rooted at one end.
+    pub fn is_path(&self) -> bool {
+        (0..self.n()).all(|v| self.children[v].len() <= 1)
+    }
+
+    /// Returns `true` if the tree is a star (root adjacent to every other
+    /// node). Single-node and two-node trees count as stars.
+    pub fn is_star(&self) -> bool {
+        self.children[self.root].len() == self.n() - 1
+    }
+
+    /// The adjacency matrix of the tree: entry `(p, c)` for every edge,
+    /// plus the diagonal if `self_loops` is set.
+    ///
+    /// The broadcast model of the paper always adds self-loops ("no process
+    /// forgets any piece of information").
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use treecast_trees::{generators, RootedTree};
+    /// let m = generators::path(3).to_matrix(true);
+    /// assert!(m.is_reflexive());
+    /// assert!(m.get(0, 1) && m.get(1, 2));
+    /// ```
+    pub fn to_matrix(&self, self_loops: bool) -> BoolMatrix {
+        let n = self.n();
+        let mut m = if self_loops {
+            BoolMatrix::identity(n)
+        } else {
+            BoolMatrix::zeros(n)
+        };
+        for (c, &p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                m.set(p, c, true);
+            }
+        }
+        m
+    }
+
+    /// The adjacency matrix in packed form, for `n ≤ 8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 8`.
+    pub fn to_packed(&self, self_loops: bool) -> PackedMatrix {
+        let n = self.n();
+        let mut m = if self_loops {
+            PackedMatrix::identity(n)
+        } else {
+            PackedMatrix::zeros(n)
+        };
+        for (c, &p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                m.set(p, c, true);
+            }
+        }
+        m
+    }
+
+    /// Relabels nodes: node `v` becomes `perm[v]`.
+    ///
+    /// Used to turn structured tree families (brooms, caterpillars, …) into
+    /// adversary candidates over arbitrary node subsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..n`.
+    pub fn relabel(&self, perm: &[NodeId]) -> RootedTree {
+        let n = self.n();
+        assert_eq!(perm.len(), n, "permutation length must equal n");
+        let mut seen = vec![false; n];
+        for &p in perm {
+            assert!(p < n && !seen[p], "perm is not a permutation of 0..{n}");
+            seen[p] = true;
+        }
+        let mut parent = vec![None; n];
+        for (v, &p) in self.parent.iter().enumerate() {
+            parent[perm[v]] = p.map(|p| perm[p]);
+        }
+        RootedTree::from_parents(parent).expect("relabeling preserves tree-ness")
+    }
+
+    /// A compact structural summary, handy in logs and test assertions.
+    pub fn shape(&self) -> TreeShape {
+        TreeShape {
+            n: self.n(),
+            leaf_count: self.leaf_count(),
+            inner_count: self.inner_count(),
+            height: self.height(),
+            max_children: (0..self.n())
+                .map(|v| self.children[v].len())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Debug for RootedTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RootedTree({self})")
+    }
+}
+
+/// Renders as `root=r; parents=[., 0, 1, …]` with `.` at the root.
+impl fmt::Display for RootedTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "root={}; parents=[", self.root)?;
+        for (v, &p) in self.parent.iter().enumerate() {
+            if v > 0 {
+                f.write_str(", ")?;
+            }
+            match p {
+                None => f.write_str(".")?,
+                Some(p) => write!(f, "{p}")?,
+            }
+        }
+        f.write_str("]")
+    }
+}
+
+/// Structural summary of a [`RootedTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TreeShape {
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of leaves.
+    pub leaf_count: usize,
+    /// Number of inner nodes.
+    pub inner_count: usize,
+    /// Maximum depth.
+    pub height: usize,
+    /// Maximum number of children of any node.
+    pub max_children: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node() {
+        let t = RootedTree::from_parents(vec![None]).unwrap();
+        assert_eq!(t.n(), 1);
+        assert_eq!(t.root(), 0);
+        assert!(t.is_leaf(0));
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.inner_count(), 0);
+        assert_eq!(t.height(), 0);
+        assert!(t.is_path());
+        assert!(t.is_star());
+    }
+
+    #[test]
+    fn path_structure() {
+        let t = RootedTree::from_parents(vec![None, Some(0), Some(1), Some(2)]).unwrap();
+        assert!(t.is_path());
+        assert!(!t.is_star());
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.depth(3), 3);
+        assert_eq!(t.leaves(), vec![3]);
+        assert_eq!(t.inner_nodes(), vec![0, 1, 2]);
+        assert_eq!(t.path_to_root(3), vec![3, 2, 1, 0]);
+        assert_eq!(t.bfs_order(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn star_structure() {
+        let t = RootedTree::from_edges(5, [(2, 0), (2, 1), (2, 3), (2, 4)]).unwrap();
+        assert_eq!(t.root(), 2);
+        assert!(t.is_star());
+        assert!(!t.is_path());
+        assert_eq!(t.leaf_count(), 4);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.subtree_size(2), 5);
+        assert_eq!(t.subtree_size(0), 1);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(RootedTree::from_parents(vec![]), Err(TreeError::Empty));
+    }
+
+    #[test]
+    fn rejects_two_roots() {
+        assert_eq!(
+            RootedTree::from_parents(vec![None, None]),
+            Err(TreeError::MultipleRoots { first: 0, second: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        // 1 → 2 → 1 cycle beside root 0.
+        let r = RootedTree::from_parents(vec![None, Some(2), Some(1)]);
+        assert!(matches!(r, Err(TreeError::Cyclic { .. })));
+    }
+
+    #[test]
+    fn rejects_all_cycle() {
+        let r = RootedTree::from_parents(vec![Some(1), Some(0)]);
+        assert_eq!(r, Err(TreeError::NoRoot));
+    }
+
+    #[test]
+    fn rejects_self_parent() {
+        let r = RootedTree::from_parents(vec![None, Some(1)]);
+        assert_eq!(r, Err(TreeError::SelfParent { node: 1 }));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let r = RootedTree::from_parents(vec![None, Some(7)]);
+        assert_eq!(
+            r,
+            Err(TreeError::ParentOutOfRange { node: 1, parent: 7, n: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_double_parent_edge_list() {
+        let r = RootedTree::from_edges(3, [(0, 1), (2, 1)]);
+        assert!(matches!(r, Err(TreeError::Cyclic { node: 1 })));
+    }
+
+    #[test]
+    fn from_undirected_orients_away_from_root() {
+        let t = RootedTree::from_undirected_edges(4, &[(0, 1), (1, 2), (2, 3)], 3).unwrap();
+        assert_eq!(t.root(), 3);
+        assert_eq!(t.parent(0), Some(1));
+        assert_eq!(t.depth(0), 3);
+    }
+
+    #[test]
+    fn from_undirected_rejects_disconnected() {
+        let r = RootedTree::from_undirected_edges(4, &[(0, 1), (2, 3)], 0);
+        assert!(matches!(r, Err(TreeError::Cyclic { .. })));
+    }
+
+    #[test]
+    fn matrix_conversion() {
+        let t = RootedTree::from_parents(vec![None, Some(0), Some(0)]).unwrap();
+        let m = t.to_matrix(true);
+        assert!(m.is_reflexive());
+        assert!(m.get(0, 1) && m.get(0, 2));
+        assert_eq!(m.edge_count(), 5);
+        let bare = t.to_matrix(false);
+        assert_eq!(bare.edge_count(), 2);
+        assert_eq!(t.to_packed(true).to_matrix(), m);
+    }
+
+    #[test]
+    fn relabel_moves_root() {
+        let t = RootedTree::from_parents(vec![None, Some(0), Some(1)]).unwrap();
+        let r = t.relabel(&[2, 1, 0]);
+        assert_eq!(r.root(), 2);
+        assert_eq!(r.parent(1), Some(2));
+        assert_eq!(r.parent(0), Some(1));
+        assert_eq!(r.shape(), t.shape());
+    }
+
+    #[test]
+    fn display_format() {
+        let t = RootedTree::from_parents(vec![None, Some(0), Some(1)]).unwrap();
+        assert_eq!(t.to_string(), "root=0; parents=[., 0, 1]");
+    }
+
+    #[test]
+    fn subtree_set_matches_size() {
+        let t = RootedTree::from_edges(6, [(0, 1), (1, 2), (1, 3), (0, 4), (4, 5)]).unwrap();
+        let s = t.subtree_set(1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(t.subtree_size(1), 3);
+        assert_eq!(t.subtree_size(0), 6);
+    }
+
+    #[test]
+    fn shape_summary() {
+        let t = RootedTree::from_edges(5, [(0, 1), (0, 2), (2, 3), (2, 4)]).unwrap();
+        let s = t.shape();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.leaf_count, 3);
+        assert_eq!(s.inner_count, 2);
+        assert_eq!(s.height, 2);
+        assert_eq!(s.max_children, 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! The adversary tournament: every strategy races on a grid of network
+//! sizes; the table shows who delays broadcast longest.
+//!
+//! ```text
+//! cargo run --release --example adversary_tournament
+//! ```
+
+use treecast::adversary::{best_per_n, render_table, run_tournament, standard_lineup, TournamentConfig};
+
+fn main() {
+    let ns = [6usize, 10, 16, 24];
+    let lineup = standard_lineup();
+    println!(
+        "racing {} adversaries on n ∈ {:?} (parallel across {} jobs)…\n",
+        lineup.len(),
+        ns,
+        lineup.len() * ns.len()
+    );
+    let rows = run_tournament(&lineup, &ns, TournamentConfig::default());
+    println!("{}", render_table(&rows));
+
+    println!("best delay per n:");
+    for (n, t, who) in best_per_n(&rows) {
+        println!("  n = {n:>3}: {t:>4} rounds by {who}");
+    }
+    println!(
+        "\nReading guide: static-star loses instantly (1 round); the static\n\
+         path sets the n − 1 baseline; random play is far weaker than the\n\
+         baseline; only the arborescence-based survival strategies push\n\
+         decisively beyond it toward the ZSS lower bound."
+    );
+}
