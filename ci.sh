@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# The tier-1 gate for the treecast workspace. Run from the repo root.
+#
+#   ./ci.sh          # fmt check, release build, tests, bench smoke, docs
+#   ./ci.sh --fix    # same, but apply rustfmt instead of failing on drift
+#
+# Everything runs offline: the rand/proptest/criterion dependencies are
+# vendored path crates (see vendor/).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+FMT_MODE=--check
+if [[ "${1:-}" == "--fix" ]]; then
+    FMT_MODE=""
+fi
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo fmt ${FMT_MODE:-(fix)}"
+# shellcheck disable=SC2086 # intentional word splitting of the flag
+cargo fmt $FMT_MODE
+for shim in vendor/rand vendor/proptest vendor/criterion; do
+    (cd "$shim" && cargo fmt $FMT_MODE)
+done
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test -q"
+cargo test -q
+
+step "cargo test -q --benches (criterion smoke mode)"
+cargo test -q -p treecast-bench --benches
+
+step "cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+printf '\nci.sh: all green\n'

@@ -218,8 +218,7 @@ mod tests {
     fn beam_is_at_least_as_good_as_greedy() {
         for n in [6usize, 10, 16] {
             let mut greedy = GreedyAdversary::new(StructuredPool::new(), MinMaxReach);
-            let g = simulate(n, &mut greedy, SimulationConfig::for_n(n))
-                .broadcast_time_or_panic();
+            let g = simulate(n, &mut greedy, SimulationConfig::for_n(n)).broadcast_time_or_panic();
             let b = beam_time(n, 32);
             assert!(
                 b >= g,
@@ -248,8 +247,7 @@ mod tests {
                 BeamOptions::for_n(n).with_width(32),
             );
             let mut replay = SequenceSource::new(plan);
-            let t = simulate(n, &mut replay, SimulationConfig::for_n(n))
-                .broadcast_time_or_panic();
+            let t = simulate(n, &mut replay, SimulationConfig::for_n(n)).broadcast_time_or_panic();
             assert!(
                 t >= bounds::lower_bound(n as u64),
                 "n = {n}: beam reached {t}, ZSS bound {}",

@@ -174,9 +174,7 @@ impl CandidateGen for StructuredPool {
                     continue; // already broadcast; nothing to freeze
                 }
                 let carriers = state.reach_set(x);
-                let mut order: Vec<NodeId> = (0..n)
-                    .filter(|&v| !carriers.contains(v))
-                    .collect();
+                let mut order: Vec<NodeId> = (0..n).filter(|&v| !carriers.contains(v)).collect();
                 order.sort_by_key(|&v| (heard[v], v));
                 let mut tail: Vec<NodeId> = carriers.iter().collect();
                 tail.sort_by_key(|&v| (heard[v], v));
@@ -322,7 +320,11 @@ impl CandidateGen for ExactLeafPool {
         // Deterministic ordered caterpillar variants plus random fills.
         let heard = state.heard_weights();
         let mut out = Vec::with_capacity(self.fill + 1);
-        out.push(ordered_exact_leaf_path_like(n, k, &order_by(n, |v| heard[v])));
+        out.push(ordered_exact_leaf_path_like(
+            n,
+            k,
+            &order_by(n, |v| heard[v]),
+        ));
         while out.len() < self.fill + 1 {
             out.push(random::with_exact_leaves(n, k, &mut self.rng));
         }

@@ -189,8 +189,14 @@ mod tests {
         // also adds n−1 (center reaches everyone).
         let n = 7;
         let state = BroadcastState::new(n);
-        assert_eq!(MinNewEdges.score(&state, &generators::path(n)), (n - 1) as u64);
-        assert_eq!(MinNewEdges.score(&state, &generators::star(n)), (n - 1) as u64);
+        assert_eq!(
+            MinNewEdges.score(&state, &generators::path(n)),
+            (n - 1) as u64
+        );
+        assert_eq!(
+            MinNewEdges.score(&state, &generators::star(n)),
+            (n - 1) as u64
+        );
     }
 
     #[test]

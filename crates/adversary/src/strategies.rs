@@ -194,7 +194,8 @@ impl<P: CandidateGen, O: Objective> TreeSource for LookaheadAdversary<P, O> {
                 best = Some((future, immediate, t));
             }
         }
-        best.map(|(_, _, t)| t).expect("candidate pools are non-empty")
+        best.map(|(_, _, t)| t)
+            .expect("candidate pools are non-empty")
     }
 
     fn name(&self) -> String {
@@ -283,10 +284,7 @@ mod tests {
         // `crate::survival`); what greedy must guarantee here is to never
         // fall below it or break the theorem.
         for n in [12usize, 24, 40] {
-            let t = broadcast_time(
-                n,
-                GreedyAdversary::new(StructuredPool::new(), MinMaxReach),
-            );
+            let t = broadcast_time(n, GreedyAdversary::new(StructuredPool::new(), MinMaxReach));
             assert!(
                 t >= (n as u64) - 1,
                 "greedy must not lose to the path's n−1: n = {n}, t = {t}"
@@ -322,10 +320,7 @@ mod tests {
     #[test]
     fn lookahead_at_least_matches_greedy_small() {
         let n = 10;
-        let greedy = broadcast_time(
-            n,
-            GreedyAdversary::new(StructuredPool::new(), MinMaxReach),
-        );
+        let greedy = broadcast_time(n, GreedyAdversary::new(StructuredPool::new(), MinMaxReach));
         let look = broadcast_time(
             n,
             LookaheadAdversary::new(StructuredPool::new(), MinMaxReach, 2),

@@ -199,9 +199,7 @@ impl CandidateGen for ArborescencePool {
                 out.push(tree);
                 if repeat {
                     // Reweight: a token moving k times costs k² more.
-                    let cost2 = |x: NodeId| {
-                        cost(x).saturating_mul(1 + (moves[x] as i64).pow(2))
-                    };
+                    let cost2 = |x: NodeId| cost(x).saturating_mul(1 + (moves[x] as i64).pow(2));
                     let w2 = edge_weights(state, &cost2);
                     if let Ok(tree2) = min_arborescence_tree(&w2, root) {
                         out.push(tree2);

@@ -5,9 +5,7 @@
 //! adversaries over a grid of network sizes, record broadcast (and
 //! optionally gossip) times, and render comparison tables.
 
-use treecast_core::{
-    bounds, simulate, RunOutcome, SimulationConfig, StaticSource, TreeSource,
-};
+use treecast_core::{bounds, simulate, RunOutcome, SimulationConfig, StaticSource, TreeSource};
 use treecast_trees::generators;
 
 use crate::beam::BeamSearchAdversary;
@@ -30,7 +28,9 @@ pub struct Lineup {
 impl Lineup {
     /// An empty lineup.
     pub fn new() -> Self {
-        Lineup { entries: Vec::new() }
+        Lineup {
+            entries: Vec::new(),
+        }
     }
 
     /// Adds a named factory; returns `self` for chaining.
@@ -198,12 +198,12 @@ pub fn run_tournament(
     };
 
     let mut rows: Vec<TournamentRow> = Vec::with_capacity(jobs.len());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let chunks: Vec<Vec<(usize, usize)>> = split_round_robin(&jobs, threads);
         let mut handles = Vec::new();
         for chunk in chunks {
             let lineup_ref = &lineup.entries;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut out = Vec::with_capacity(chunk.len());
                 for (e, n) in chunk {
                     let (name, factory) = &lineup_ref[e];
@@ -244,8 +244,7 @@ pub fn run_tournament(
         for h in handles {
             rows.extend(h.join().expect("tournament worker panicked"));
         }
-    })
-    .expect("tournament scope panicked");
+    });
 
     rows.sort_by(|a, b| (a.n, &a.adversary).cmp(&(b.n, &b.adversary)));
     rows
@@ -330,8 +329,7 @@ pub fn render_table(rows: &[TournamentRow]) -> String {
 
 /// Renders rows as CSV.
 pub fn to_csv(rows: &[TournamentRow]) -> String {
-    let mut out =
-        String::from("adversary,n,broadcast_time,gossip_time,lower_bound,upper_bound\n");
+    let mut out = String::from("adversary,n,broadcast_time,gossip_time,lower_bound,upper_bound\n");
     for r in rows {
         out.push_str(&format!(
             "{},{},{},{},{},{}\n",
@@ -377,7 +375,9 @@ mod tests {
     #[test]
     fn rows_are_sorted_and_rendered() {
         let rows = run_tournament(&tiny_lineup(), &[6, 4], TournamentConfig::default());
-        assert!(rows.windows(2).all(|w| (w[0].n, &w[0].adversary) <= (w[1].n, &w[1].adversary)));
+        assert!(rows
+            .windows(2)
+            .all(|w| (w[0].n, &w[0].adversary) <= (w[1].n, &w[1].adversary)));
         let table = render_table(&rows);
         assert!(table.contains("n=4"));
         assert!(table.contains("static-path"));

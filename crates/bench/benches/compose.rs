@@ -63,5 +63,10 @@ fn bench_apply_tree(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compose, bench_packed_compose, bench_apply_tree);
+criterion_group!(
+    benches,
+    bench_compose,
+    bench_packed_compose,
+    bench_apply_tree
+);
 criterion_main!(benches);

@@ -1,22 +1,22 @@
-//! The experiment implementations, one per id in `EXPERIMENTS.md`.
+//! The experiment implementations, one per id in this crate's `README.md`.
 //!
 //! Every function is pure computation returning an [`ExperimentOutput`];
 //! the `experiments` binary handles argument parsing, printing and CSV
 //! emission. `quick` mode shrinks grids so the full suite stays in CI
-//! territory; full mode regenerates the numbers quoted in
-//! `EXPERIMENTS.md`.
+//! territory; full mode regenerates the paper-scale grids.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use treecast_adversary::{
-    beam_search_plan, run_tournament, ArborescencePool, BeamOptions, BeamSearchAdversary, ExactInnerPool, ExactLeafPool, FamilyRandomAdversary, FreezeLeaderAdversary,
-    GreedyAdversary, Lineup, MinMaxReach, MinNearWinners, MinNewEdges, MinSumReach,
-    StructuredPool, SurvivalAdversary, SurvivalObjective, TournamentConfig,
+    beam_search_plan, run_tournament, ArborescencePool, BeamOptions, BeamSearchAdversary,
+    ExactInnerPool, ExactLeafPool, FamilyRandomAdversary, FreezeLeaderAdversary, GreedyAdversary,
+    Lineup, MinMaxReach, MinNearWinners, MinNewEdges, MinSumReach, StructuredPool,
+    SurvivalAdversary, SurvivalObjective, TournamentConfig,
 };
 use treecast_core::{
-    bounds, simulate, simulate_observed, CertObserver, MetricsRecorder,
-    SequenceSource, SimulationConfig, StaticSource, TreeSource,
+    bounds, simulate, simulate_observed, CertObserver, MetricsRecorder, SequenceSource,
+    SimulationConfig, StaticSource, TreeSource,
 };
 use treecast_nonsplit as nonsplit;
 use treecast_trees::generators;
@@ -28,7 +28,7 @@ use crate::Table;
 pub struct ExperimentOutput {
     /// Experiment id (`fig1`, `thm31`, …).
     pub id: &'static str,
-    /// Human title matching EXPERIMENTS.md.
+    /// Human title matching this crate's `README.md` table.
     pub title: String,
     /// Named tables (name used as the CSV file stem).
     pub tables: Vec<(String, Table)>,
@@ -67,7 +67,10 @@ fn broadcast_with<S: TreeSource>(n: usize, mut source: S) -> u64 {
 /// Best achieved broadcast time at `n` across the strategies affordable at
 /// that size, with the winner's name.
 pub fn best_achieved(n: usize, seed: u64) -> (u64, &'static str) {
-    let mut best = (broadcast_with(n, StaticSource::new(generators::path(n))), "static-path");
+    let mut best = (
+        broadcast_with(n, StaticSource::new(generators::path(n))),
+        "static-path",
+    );
     let consider = |t: u64, name: &'static str, best: &mut (u64, &'static str)| {
         if t > best.0 {
             *best = (t, name);
@@ -166,7 +169,11 @@ pub fn thm31(quick: bool) -> ExperimentOutput {
             r.t_star.to_string(),
             String::new(),
             bounds::upper_bound(nu).to_string(),
-            if ok { "ok".into() } else { "VIOLATION".to_string() },
+            if ok {
+                "ok".into()
+            } else {
+                "VIOLATION".to_string()
+            },
         ]);
     }
     for &n in heuristic_ns {
@@ -179,7 +186,11 @@ pub fn thm31(quick: bool) -> ExperimentOutput {
             String::new(),
             best.to_string(),
             bounds::upper_bound(nu).to_string(),
-            if ok { "ok".into() } else { "VIOLATION".to_string() },
+            if ok {
+                "ok".into()
+            } else {
+                "VIOLATION".to_string()
+            },
         ]);
     }
     out.tables.push(("thm31_sandwich".into(), t));
@@ -194,7 +205,11 @@ pub fn thm31(quick: bool) -> ExperimentOutput {
 /// E3 (Section 2 remarks): path = n−1, star = 1, strict progress.
 pub fn sanity(quick: bool) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("sanity", "Section 2 sanity facts");
-    let ns: &[usize] = if quick { &[4, 16] } else { &[4, 8, 16, 64, 256] };
+    let ns: &[usize] = if quick {
+        &[4, 16]
+    } else {
+        &[4, 8, 16, 64, 256]
+    };
     let mut t = Table::new(["check", "n", "expected", "measured", "pass"]);
     for &n in ns {
         let path = broadcast_with(n, StaticSource::new(generators::path(n)));
@@ -215,8 +230,7 @@ pub fn sanity(quick: bool) -> ExperimentOutput {
         ]);
         let mut cert = CertObserver::edges_only();
         let mut adv = FamilyRandomAdversary::new(n as u64);
-        let report =
-            simulate_observed(n, &mut adv, SimulationConfig::for_n(n), &mut [&mut cert]);
+        let report = simulate_observed(n, &mut adv, SimulationConfig::for_n(n), &mut [&mut cert]);
         t.push([
             "strict progress + t <= n^2".to_string(),
             n.to_string(),
@@ -276,7 +290,11 @@ pub fn restricted(quick: bool) -> ExperimentOutput {
 /// enough.
 pub fn cfn(quick: bool) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("cfn", "CFN composition lemma");
-    let ns: &[usize] = if quick { &[4, 8, 16] } else { &[4, 8, 16, 32, 64] };
+    let ns: &[usize] = if quick {
+        &[4, 8, 16]
+    } else {
+        &[4, 8, 16, 32, 64]
+    };
     let trials = if quick { 5 } else { 20 };
     let mut rng = StdRng::seed_from_u64(0xCF5);
     let mut t = Table::new([
@@ -352,8 +370,9 @@ pub fn fnw(quick: bool) -> ExperimentOutput {
             )
             .expect("greedy nonsplit broadcasts");
         }
-        let grid = nonsplit::broadcast_time_nonsplit(n, &mut nonsplit::GridNonsplit, 1_000, &mut rng)
-            .expect("grid rounds broadcast");
+        let grid =
+            nonsplit::broadcast_time_nonsplit(n, &mut nonsplit::GridNonsplit, 1_000, &mut rng)
+                .expect("grid rounds broadcast");
         let reference = bounds::fnw_reference(n as u64, 2.0) / n as f64;
         t.push([
             n.to_string(),
@@ -462,8 +481,16 @@ pub fn evolution(quick: bool) -> ExperimentOutput {
         out.tables
             .push((format!("evolution_{}", name.replace('/', "_")), detail));
     };
-    run("static-path", &mut StaticSource::new(generators::path(n)), &mut out);
-    run("survival-greedy", &mut SurvivalAdversary::default(), &mut out);
+    run(
+        "static-path",
+        &mut StaticSource::new(generators::path(n)),
+        &mut out,
+    );
+    run(
+        "survival-greedy",
+        &mut SurvivalAdversary::default(),
+        &mut out,
+    );
     run(
         "uniform-random",
         &mut treecast_adversary::UniformRandomAdversary::new(5),
@@ -484,9 +511,7 @@ pub fn gossip(quick: bool) -> ExperimentOutput {
         )
         .with(
             "uniform-random",
-            Box::new(|_, seed| {
-                Box::new(treecast_adversary::UniformRandomAdversary::new(seed))
-            }),
+            Box::new(|_, seed| Box::new(treecast_adversary::UniformRandomAdversary::new(seed))),
         )
         .with(
             "freeze-leader",
@@ -566,7 +591,10 @@ pub fn ablation(quick: bool) -> ExperimentOutput {
         record(
             "structured",
             "survival",
-            broadcast_with(n, GreedyAdversary::new(StructuredPool::new(), SurvivalObjective)),
+            broadcast_with(
+                n,
+                GreedyAdversary::new(StructuredPool::new(), SurvivalObjective),
+            ),
             &mut t,
         );
         record(

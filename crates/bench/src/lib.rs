@@ -3,7 +3,7 @@
 //!
 //! The `experiments` binary (`cargo run -p treecast-bench --bin
 //! experiments -- <id>`) regenerates every table/figure of the paper; see
-//! `EXPERIMENTS.md` at the workspace root for the id ↔ paper mapping.
+//! `README.md` in this crate for the id ↔ paper mapping.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -41,7 +41,7 @@
 //! # Feature flags
 //!
 //! * `serde` — `Serialize`/`Deserialize` for [`BitSet`] and [`BoolMatrix`].
-//! * `proptest` — exposes the [`strategies`] module for downstream property
+//! * `proptest` — exposes the `strategies` module for downstream property
 //!   tests.
 
 #![forbid(unsafe_code)]

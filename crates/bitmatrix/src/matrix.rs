@@ -667,7 +667,11 @@ mod tests {
     fn parse_errors() {
         assert!(matches!(
             "01\n0".parse::<BoolMatrix>(),
-            Err(ParseMatrixError::RaggedRow { row: 1, got: 1, expected: 2 })
+            Err(ParseMatrixError::RaggedRow {
+                row: 1,
+                got: 1,
+                expected: 2
+            })
         ));
         assert!(matches!(
             "0a\n00".parse::<BoolMatrix>(),

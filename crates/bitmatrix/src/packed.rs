@@ -47,7 +47,10 @@ impl PackedMatrix {
             (1..=PACKED_MAX_N).contains(&n),
             "PackedMatrix supports 1 ≤ n ≤ {PACKED_MAX_N}, got {n}"
         );
-        PackedMatrix { n: n as u8, bits: 0 }
+        PackedMatrix {
+            n: n as u8,
+            bits: 0,
+        }
     }
 
     /// The identity matrix (self-loops only) — the model's `G(0)`.

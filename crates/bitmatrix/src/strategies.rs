@@ -10,8 +10,12 @@ use crate::{BitSet, BoolMatrix, PackedMatrix};
 
 /// Strategy producing an arbitrary [`BitSet`] over a universe of size `n`.
 pub fn bitset(n: usize) -> impl Strategy<Value = BitSet> {
-    proptest::collection::vec(proptest::bool::ANY, n)
-        .prop_map(move |bits| BitSet::from_indices(n, bits.iter().enumerate().filter(|(_, b)| **b).map(|(i, _)| i)))
+    proptest::collection::vec(proptest::bool::ANY, n).prop_map(move |bits| {
+        BitSet::from_indices(
+            n,
+            bits.iter().enumerate().filter(|(_, b)| **b).map(|(i, _)| i),
+        )
+    })
 }
 
 /// Strategy producing an arbitrary [`BoolMatrix`] on `n` nodes.

@@ -158,9 +158,9 @@ mod tests {
             (1, 0), // ⌈2/2⌉ − 2 < 0 → clamp
             (2, 1),
             (3, 2),
-            (4, 4),  // ⌈11/2⌉ = 6, −2
-            (5, 5),  // ⌈14/2⌉ = 7, −2
-            (6, 7),  // ⌈17/2⌉ = 9, −2
+            (4, 4), // ⌈11/2⌉ = 6, −2
+            (5, 5), // ⌈14/2⌉ = 7, −2
+            (6, 7), // ⌈17/2⌉ = 9, −2
             (7, 8),
             (10, 13),
             (100, 148),

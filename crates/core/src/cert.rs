@@ -59,10 +59,11 @@ impl core::fmt::Display for Violation {
             Violation::NoProgress { round } => {
                 write!(f, "round {round} added no edge before broadcast")
             }
-            Violation::WrongTreeSize { round, got, expected } => write!(
-                f,
-                "round {round} tree has {got} nodes, expected {expected}"
-            ),
+            Violation::WrongTreeSize {
+                round,
+                got,
+                expected,
+            } => write!(f, "round {round} tree has {got} nodes, expected {expected}"),
             Violation::UpperBoundExceeded { measured, bound } => write!(
                 f,
                 "broadcast took {measured} rounds, above the theorem bound {bound}"
@@ -141,11 +142,16 @@ impl Observer for CertObserver {
             });
         }
         let first_round = self.prev_state.is_none() && self.prev_edges == 0;
-        let prev_edges = if first_round { state.n() } else { self.prev_edges };
+        let prev_edges = if first_round {
+            state.n()
+        } else {
+            self.prev_edges
+        };
 
         let edges = state.edge_count();
         if edges < prev_edges {
-            self.violations.push(Violation::MonotonicityBroken { round });
+            self.violations
+                .push(Violation::MonotonicityBroken { round });
         }
         // Strict progress applies to rounds that start without a witness.
         if !self.had_witness && edges == prev_edges {
@@ -171,10 +177,8 @@ impl Observer for CertObserver {
         if let Some(t) = report.broadcast_time {
             let bound = bounds::upper_bound(report.n as u64);
             if t > bound {
-                self.violations.push(Violation::UpperBoundExceeded {
-                    measured: t,
-                    bound,
-                });
+                self.violations
+                    .push(Violation::UpperBoundExceeded { measured: t, bound });
             }
         }
     }
@@ -272,7 +276,11 @@ mod tests {
     fn violation_display_messages() {
         let v = Violation::NoProgress { round: 3 };
         assert!(v.to_string().contains("round 3"));
-        let v = Violation::WrongTreeSize { round: 1, got: 2, expected: 5 };
+        let v = Violation::WrongTreeSize {
+            round: 1,
+            got: 2,
+            expected: 5,
+        };
         assert!(v.to_string().contains("expected 5"));
     }
 

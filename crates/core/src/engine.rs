@@ -414,7 +414,10 @@ mod tests {
             }
         }
         let n = 5;
-        let mut counter = Counter { rounds: 0, finishes: 0 };
+        let mut counter = Counter {
+            rounds: 0,
+            finishes: 0,
+        };
         let mut source = StaticSource::new(generators::path(n));
         simulate_observed(
             n,
@@ -429,8 +432,7 @@ mod tests {
     #[test]
     fn labels_flow_into_reports() {
         let n = 3;
-        let mut source =
-            StaticSource::new(generators::path(n)).with_label("my-path");
+        let mut source = StaticSource::new(generators::path(n)).with_label("my-path");
         let report = simulate(n, &mut source, SimulationConfig::for_n(n));
         assert_eq!(report.source, "my-path");
     }

@@ -52,8 +52,8 @@ mod model;
 
 pub use cert::{CertObserver, TheoremVerdict, Violation};
 pub use engine::{
-    simulate, simulate_observed, Observer, RunOutcome, RunReport, SequenceSource,
-    SimulationConfig, StaticSource, StopCondition, TreeSource,
+    simulate, simulate_observed, Observer, RunOutcome, RunReport, SequenceSource, SimulationConfig,
+    StaticSource, StopCondition, TreeSource,
 };
 pub use metrics::{MetricsRecorder, RoundMetrics};
 pub use model::BroadcastState;

@@ -347,7 +347,11 @@ mod tests {
         let mut s = BroadcastState::new(n);
         for _ in 0..n - 2 {
             s.apply(&path);
-            assert!(s.broadcast_witness().is_none(), "too early at {}", s.round());
+            assert!(
+                s.broadcast_witness().is_none(),
+                "too early at {}",
+                s.round()
+            );
         }
         s.apply(&path);
         assert_eq!(s.broadcast_witness(), Some(0));

@@ -4,11 +4,11 @@
 //! in-neighbor. Figure 1's `O(n log log n)` column combines two cited
 //! results that this crate makes executable:
 //!
-//! * **[CFN15] composition lemma** — the product of any `n − 1` rooted
+//! * **\[CFN15\] composition lemma** — the product of any `n − 1` rooted
 //!   trees (with self-loops) is nonsplit: [`product_of`] +
 //!   [`cfn_product_is_nonsplit`], with the tightness witness
 //!   ([`split_path_power`]) showing `n − 2` does not suffice.
-//! * **[FNW20] dissemination** — sequences of nonsplit graphs broadcast in
+//! * **\[FNW20\] dissemination** — sequences of nonsplit graphs broadcast in
 //!   `O(log log n)` rounds: [`broadcast_time_nonsplit`] measured against
 //!   [`treecast_core::bounds::fnw_reference`].
 //!
@@ -39,7 +39,10 @@ use treecast_trees::{random, RootedTree};
 ///
 /// Panics if `trees` is empty or sizes disagree.
 pub fn product_of(trees: &[RootedTree]) -> BoolMatrix {
-    assert!(!trees.is_empty(), "product of an empty sequence is undefined");
+    assert!(
+        !trees.is_empty(),
+        "product of an empty sequence is undefined"
+    );
     let mut acc = trees[0].to_matrix(true);
     for t in &trees[1..] {
         acc = acc.compose(&t.to_matrix(true));
@@ -189,11 +192,7 @@ pub mod generators {
 pub struct GridNonsplit;
 
 impl MatrixSource for GridNonsplit {
-    fn next_matrix<R: Rng + ?Sized>(
-        &mut self,
-        state: &BroadcastState,
-        _rng: &mut R,
-    ) -> BoolMatrix {
+    fn next_matrix<R: Rng + ?Sized>(&mut self, state: &BroadcastState, _rng: &mut R) -> BoolMatrix {
         generators::grid(state.n())
     }
 }
@@ -201,8 +200,7 @@ impl MatrixSource for GridNonsplit {
 /// Produces the round-`t` nonsplit matrix given the current state.
 pub trait MatrixSource {
     /// The next round's (nonsplit) graph.
-    fn next_matrix<R: Rng + ?Sized>(&mut self, state: &BroadcastState, rng: &mut R)
-        -> BoolMatrix;
+    fn next_matrix<R: Rng + ?Sized>(&mut self, state: &BroadcastState, rng: &mut R) -> BoolMatrix;
 }
 
 /// Plays a fresh sparse random nonsplit graph every round.
@@ -210,11 +208,7 @@ pub trait MatrixSource {
 pub struct RandomNonsplit;
 
 impl MatrixSource for RandomNonsplit {
-    fn next_matrix<R: Rng + ?Sized>(
-        &mut self,
-        state: &BroadcastState,
-        rng: &mut R,
-    ) -> BoolMatrix {
+    fn next_matrix<R: Rng + ?Sized>(&mut self, state: &BroadcastState, rng: &mut R) -> BoolMatrix {
         generators::pairwise_min(state.n(), rng)
     }
 }
@@ -235,11 +229,7 @@ impl Default for GreedyNonsplit {
 }
 
 impl MatrixSource for GreedyNonsplit {
-    fn next_matrix<R: Rng + ?Sized>(
-        &mut self,
-        state: &BroadcastState,
-        rng: &mut R,
-    ) -> BoolMatrix {
+    fn next_matrix<R: Rng + ?Sized>(&mut self, state: &BroadcastState, rng: &mut R) -> BoolMatrix {
         let n = state.n();
         let mut best: Option<(usize, BoolMatrix)> = None;
         for _ in 0..self.pool.max(1) {
@@ -426,11 +416,9 @@ mod tests {
         let mut total_rand = 0;
         let mut total_greedy = 0;
         for _ in 0..trials {
-            total_rand +=
-                broadcast_time_nonsplit(n, &mut RandomNonsplit, 500, &mut rng).unwrap();
+            total_rand += broadcast_time_nonsplit(n, &mut RandomNonsplit, 500, &mut rng).unwrap();
             total_greedy +=
-                broadcast_time_nonsplit(n, &mut GreedyNonsplit::default(), 500, &mut rng)
-                    .unwrap();
+                broadcast_time_nonsplit(n, &mut GreedyNonsplit::default(), 500, &mut rng).unwrap();
         }
         assert!(
             total_greedy + trials >= total_rand,

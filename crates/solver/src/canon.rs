@@ -58,9 +58,7 @@ pub fn canonicalize(state: u64, n: usize, mode: CanonMode) -> u64 {
             let mut classes: Vec<Vec<usize>> = Vec::new();
             for &v in &order {
                 match classes.last_mut() {
-                    Some(last) if sigs[*last.first().expect("nonempty")] == sigs[v] => {
-                        last.push(v)
-                    }
+                    Some(last) if sigs[*last.first().expect("nonempty")] == sigs[v] => last.push(v),
                     _ => classes.push(vec![v]),
                 }
             }

@@ -72,7 +72,10 @@ impl core::fmt::Display for SolveError {
                 write!(f, "exact solving supports 1 ≤ n ≤ 8, got {n}")
             }
             SolveError::StateLimit { limit } => {
-                write!(f, "state limit {limit} exceeded; raise SolveOptions::max_states")
+                write!(
+                    f,
+                    "state limit {limit} exceeded; raise SolveOptions::max_states"
+                )
             }
         }
     }
@@ -280,8 +283,8 @@ fn extract_schedule(
 ///
 /// Panics if the schedule never broadcasts within `8n + 16` rounds.
 pub fn verify_schedule(n: usize, schedule: &[RootedTree]) -> u64 {
-    let mut source = SequenceSource::new(schedule.to_vec())
-        .with_label(format!("solver-optimal(n={n})"));
+    let mut source =
+        SequenceSource::new(schedule.to_vec()).with_label(format!("solver-optimal(n={n})"));
     let report = simulate(n, &mut source, SimulationConfig::for_n(n));
     report.broadcast_time_or_panic()
 }
@@ -302,11 +305,7 @@ mod tests {
             enumerate::for_each_rooted_tree(n, |t| v.push(t.to_matrix(true)));
             v
         };
-        fn rec(
-            s: &BoolMatrix,
-            trees: &[BoolMatrix],
-            memo: &mut Map<String, u64>,
-        ) -> u64 {
+        fn rec(s: &BoolMatrix, trees: &[BoolMatrix], memo: &mut Map<String, u64>) -> u64 {
             if s.has_full_row() {
                 return 0;
             }
@@ -322,11 +321,7 @@ mod tests {
             memo.insert(key, best + 1);
             best + 1
         }
-        rec(
-            &BoolMatrix::identity(n),
-            &trees,
-            &mut Map::new(),
-        )
+        rec(&BoolMatrix::identity(n), &trees, &mut Map::new())
     }
 
     #[test]
@@ -347,15 +342,33 @@ mod tests {
     #[test]
     fn all_canon_modes_agree() {
         for n in 2..=4 {
-            let exact = solve_with(n, SolveOptions { canon: CanonMode::Exact, ..Default::default() })
-                .unwrap()
-                .t_star;
-            let fast = solve_with(n, SolveOptions { canon: CanonMode::Fast, ..Default::default() })
-                .unwrap()
-                .t_star;
-            let none = solve_with(n, SolveOptions { canon: CanonMode::None, ..Default::default() })
-                .unwrap()
-                .t_star;
+            let exact = solve_with(
+                n,
+                SolveOptions {
+                    canon: CanonMode::Exact,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .t_star;
+            let fast = solve_with(
+                n,
+                SolveOptions {
+                    canon: CanonMode::Fast,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .t_star;
+            let none = solve_with(
+                n,
+                SolveOptions {
+                    canon: CanonMode::None,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .t_star;
             assert_eq!(exact, fast, "n = {n}");
             assert_eq!(exact, none, "n = {n}");
         }

@@ -135,7 +135,10 @@ fn solve(n_nodes: usize, root: usize, edges: &[Edge]) -> Result<Vec<usize>, Arbo
     let mut best: Vec<Option<usize>> = vec![None; n_nodes];
     for (i, e) in edges.iter().enumerate() {
         debug_assert_ne!(e.to, root);
-        if best[e.to].map(|b| edges[b].weight > e.weight).unwrap_or(true) {
+        if best[e.to]
+            .map(|b| edges[b].weight > e.weight)
+            .unwrap_or(true)
+        {
             best[e.to] = Some(i);
         }
     }

@@ -13,11 +13,7 @@ use crate::tree::{NodeId, RootedTree};
 /// The AHU canonical code of the subtree rooted at `v`: `(` + the sorted
 /// codes of the children + `)`.
 fn code_of(tree: &RootedTree, v: NodeId) -> String {
-    let mut child_codes: Vec<String> = tree
-        .children(v)
-        .iter()
-        .map(|&c| code_of(tree, c))
-        .collect();
+    let mut child_codes: Vec<String> = tree.children(v).iter().map(|&c| code_of(tree, c)).collect();
     child_codes.sort_unstable();
     let mut s = String::with_capacity(2 + child_codes.iter().map(String::len).sum::<usize>());
     s.push('(');
@@ -99,7 +95,11 @@ mod tests {
         .map(canonical_code)
         .collect();
         let set: std::collections::HashSet<_> = codes.iter().collect();
-        assert_eq!(set.len(), codes.len(), "all five shapes distinct: {codes:?}");
+        assert_eq!(
+            set.len(),
+            codes.len(),
+            "all five shapes distinct: {codes:?}"
+        );
     }
 
     #[test]

@@ -69,8 +69,7 @@ pub fn for_each_rooted_tree<F: FnMut(&RootedTree)>(n: usize, mut f: F) {
             }
             parent[root] = None;
             if is_acyclic(&parent, root) {
-                let tree =
-                    RootedTree::from_parents(parent.clone()).expect("acyclic parent array");
+                let tree = RootedTree::from_parents(parent.clone()).expect("acyclic parent array");
                 f(&tree);
             }
             // Advance odometer.

@@ -207,7 +207,10 @@ mod tests {
         for root in 0..6 {
             let rt = decode_rooted(&seq, root).unwrap();
             assert_eq!(rt.root(), root);
-            assert!(rt.is_path() || root != 0 && root != 5, "re-rooted path stays a path only from the ends");
+            assert!(
+                rt.is_path() || root != 0 && root != 5,
+                "re-rooted path stays a path only from the ends"
+            );
         }
     }
 

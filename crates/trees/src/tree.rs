@@ -118,7 +118,11 @@ impl RootedTree {
                     }
                 },
                 Some(p) if p >= n => {
-                    return Err(TreeError::ParentOutOfRange { node: v, parent: p, n });
+                    return Err(TreeError::ParentOutOfRange {
+                        node: v,
+                        parent: p,
+                        n,
+                    });
                 }
                 Some(p) if p == v => return Err(TreeError::SelfParent { node: v }),
                 Some(_) => {}
@@ -197,10 +201,18 @@ impl RootedTree {
         let mut have_parent = vec![false; n];
         for (p, c) in edges {
             if c >= n {
-                return Err(TreeError::ParentOutOfRange { node: c, parent: p, n });
+                return Err(TreeError::ParentOutOfRange {
+                    node: c,
+                    parent: p,
+                    n,
+                });
             }
             if p >= n {
-                return Err(TreeError::ParentOutOfRange { node: c, parent: p, n });
+                return Err(TreeError::ParentOutOfRange {
+                    node: c,
+                    parent: p,
+                    n,
+                });
             }
             if have_parent[c] {
                 // Two parents: not a tree. Surface as a cycle at c.
@@ -228,12 +240,20 @@ impl RootedTree {
             return Err(TreeError::Empty);
         }
         if root >= n {
-            return Err(TreeError::ParentOutOfRange { node: root, parent: root, n });
+            return Err(TreeError::ParentOutOfRange {
+                node: root,
+                parent: root,
+                n,
+            });
         }
         let mut adj = vec![Vec::new(); n];
         for &(a, b) in edges {
             if a >= n || b >= n {
-                return Err(TreeError::ParentOutOfRange { node: a.max(b), parent: a.min(b), n });
+                return Err(TreeError::ParentOutOfRange {
+                    node: a.max(b),
+                    parent: a.min(b),
+                    n,
+                });
             }
             adj[a].push(b);
             adj[b].push(a);
@@ -593,7 +613,10 @@ mod tests {
     fn rejects_two_roots() {
         assert_eq!(
             RootedTree::from_parents(vec![None, None]),
-            Err(TreeError::MultipleRoots { first: 0, second: 1 })
+            Err(TreeError::MultipleRoots {
+                first: 0,
+                second: 1
+            })
         );
     }
 
@@ -621,7 +644,11 @@ mod tests {
         let r = RootedTree::from_parents(vec![None, Some(7)]);
         assert_eq!(
             r,
-            Err(TreeError::ParentOutOfRange { node: 1, parent: 7, n: 2 })
+            Err(TreeError::ParentOutOfRange {
+                node: 1,
+                parent: 7,
+                n: 2
+            })
         );
     }
 

@@ -5,7 +5,9 @@
 //! cargo run --release --example adversary_tournament
 //! ```
 
-use treecast::adversary::{best_per_n, render_table, run_tournament, standard_lineup, TournamentConfig};
+use treecast::adversary::{
+    best_per_n, render_table, run_tournament, standard_lineup, TournamentConfig,
+};
 
 fn main() {
     let ns = [6usize, 10, 16, 24];

@@ -7,15 +7,16 @@
 //! cargo run --release --example lower_bound_hunt
 //! ```
 
-use treecast::adversary::{
-    beam_search_plan, ArborescencePool, BeamOptions, SurvivalAdversary,
-};
+use treecast::adversary::{beam_search_plan, ArborescencePool, BeamOptions, SurvivalAdversary};
 use treecast::core::{bounds, simulate, SequenceSource, SimulationConfig};
 use treecast::solver;
 
 fn main() {
     println!("== exact ground truth (state-space solver) ==");
-    println!("{:>3} {:>9} {:>8} {:>8}  {}", "n", "t* exact", "LB", "UB", "LB tight?");
+    println!(
+        "{:>3} {:>9} {:>8} {:>8}  {}",
+        "n", "t* exact", "LB", "UB", "LB tight?"
+    );
     for n in 2..=5usize {
         let r = solver::solve(n).expect("small n solves");
         let lb = bounds::lower_bound(n as u64);
@@ -25,7 +26,11 @@ fn main() {
             r.t_star,
             lb,
             bounds::upper_bound(n as u64),
-            if r.t_star == lb { "yes" } else { "NO — new bound!" }
+            if r.t_star == lb {
+                "yes"
+            } else {
+                "NO — new bound!"
+            }
         );
         // The optimal schedule replays through the public engine.
         let replayed = solver::verify_schedule(n, &r.schedule);

@@ -38,9 +38,8 @@ fn main() {
     for n in [8usize, 32, 128, 512, 2048] {
         let t_rand = broadcast_time_nonsplit(n, &mut RandomNonsplit, 1_000, &mut rng)
             .expect("random nonsplit rounds broadcast");
-        let t_greedy =
-            broadcast_time_nonsplit(n, &mut GreedyNonsplit::default(), 1_000, &mut rng)
-                .expect("greedy nonsplit rounds broadcast");
+        let t_greedy = broadcast_time_nonsplit(n, &mut GreedyNonsplit::default(), 1_000, &mut rng)
+            .expect("greedy nonsplit rounds broadcast");
         let t_grid = broadcast_time_nonsplit(n, &mut GridNonsplit, 1_000, &mut rng)
             .expect("grid rounds broadcast");
         println!(

@@ -8,9 +8,7 @@ use rand::SeedableRng;
 
 use treecast::adversary::{FamilyRandomAdversary, SurvivalAdversary, UniformRandomAdversary};
 use treecast::bitmatrix::BoolMatrix;
-use treecast::core::{
-    bounds, simulate_observed, BroadcastState, CertObserver, SimulationConfig,
-};
+use treecast::core::{bounds, simulate_observed, BroadcastState, CertObserver, SimulationConfig};
 use treecast::trees::{random, RootedTree};
 
 /// Column-view incremental state must equal the literal Definition 2.1
@@ -47,12 +45,8 @@ fn certificates_hold_for_all_adversaries() {
             ];
             for (name, source) in checks.iter_mut() {
                 let mut cert = CertObserver::full();
-                let report = simulate_observed(
-                    n,
-                    source,
-                    SimulationConfig::for_n(n),
-                    &mut [&mut cert],
-                );
+                let report =
+                    simulate_observed(n, source, SimulationConfig::for_n(n), &mut [&mut cert]);
                 assert!(
                     cert.is_clean(),
                     "{name} at n = {n}, seed {seed}: {:?}",

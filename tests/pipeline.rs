@@ -104,7 +104,9 @@ fn metrics_csv_shape_through_public_api() {
     let lines: Vec<&str> = csv.lines().collect();
     assert_eq!(lines.len(), 1 + (n - 1), "header + one row per round");
     let header_cols = lines[0].split(',').count();
-    assert!(lines[1..].iter().all(|l| l.split(',').count() == header_cols));
+    assert!(lines[1..]
+        .iter()
+        .all(|l| l.split(',').count() == header_cols));
 }
 
 #[test]

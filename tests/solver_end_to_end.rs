@@ -2,9 +2,7 @@
 //! schedules replay in the engine, pass the certificates, and match the
 //! theorem.
 
-use treecast::core::{
-    bounds, simulate_observed, CertObserver, SequenceSource, SimulationConfig,
-};
+use treecast::core::{bounds, simulate_observed, CertObserver, SequenceSource, SimulationConfig};
 use treecast::solver::{solve, solve_with, verify_schedule, CanonMode, SolveOptions};
 
 #[test]
@@ -31,12 +29,8 @@ fn optimal_schedules_replay_and_certify() {
         // Replaying through the engine with full certificates on.
         let mut cert = CertObserver::full();
         let mut source = SequenceSource::new(r.schedule.clone());
-        let report = simulate_observed(
-            n,
-            &mut source,
-            SimulationConfig::for_n(n),
-            &mut [&mut cert],
-        );
+        let report =
+            simulate_observed(n, &mut source, SimulationConfig::for_n(n), &mut [&mut cert]);
         assert!(cert.is_clean(), "n = {n}: {:?}", cert.violations());
         assert_eq!(report.broadcast_time, Some(r.t_star));
     }

@@ -1,0 +1,338 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The treecast build environment cannot reach crates.io, so this vendored
+//! shim implements the API subset the workspace's `benches/` use:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`] and the [`criterion_group!`]/[`criterion_main!`] macros.
+//! Bench targets keep `harness = false` and the same source, so swapping
+//! the real crate back in is a one-line `Cargo.toml` change.
+//!
+//! Semantics follow criterion's CLI contract:
+//!
+//! * `cargo bench` passes `--bench`, which selects **measure mode**: each
+//!   benchmark is warmed up and timed, and a `median ns/iter` line is
+//!   printed per benchmark.
+//! * `cargo test --benches` omits `--bench`, which selects **test mode**:
+//!   each benchmark body runs exactly once as a smoke test.
+//! * A trailing free argument acts as a substring filter on benchmark ids,
+//!   like criterion's `cargo bench -- <filter>`.
+//!
+//! There are no statistics, plots or saved baselines — this is a
+//! smoke-and-rough-numbers harness, not a measurement-grade one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque identity function that prevents the optimizer from deleting
+/// benchmarked computations.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with an explicit function name and parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter; the group name provides context.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark id: a [`BenchmarkId`] or a plain `&str`.
+pub trait IntoBenchmarkId {
+    /// Converts into the rendered id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `--bench` was passed (cargo bench): warm up and time.
+    Measure,
+    /// No `--bench` (cargo test --benches): run each body once.
+    Test,
+}
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Test;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => mode = Mode::Measure,
+                // Flags criterion/libtest accept that a plain runner can
+                // safely treat as no-ops.
+                "--test" | "--nocapture" | "-q" | "--quiet" => {}
+                other if !other.starts_with('-') => filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        Criterion {
+            mode,
+            filter,
+            sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            group_name: group_name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(id.into_id(), sample_size, &mut f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: String, sample_size: usize, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            mode: self.mode,
+            sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        match self.mode {
+            Mode::Test => println!("test {id} ... ok"),
+            Mode::Measure => {
+                bencher.samples.sort_unstable();
+                let median = bencher
+                    .samples
+                    .get(bencher.samples.len() / 2)
+                    .copied()
+                    .unwrap_or(0);
+                println!(
+                    "bench {id:<48} median {median:>12} ns/iter ({} samples)",
+                    bencher.samples.len()
+                );
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group_name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.group_name, id.into_id());
+        let sample_size = self.effective_sample_size();
+        self.criterion.run_one(id, sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.group_name, id.into_id());
+        let sample_size = self.effective_sample_size();
+        self.criterion
+            .run_one(id, sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group. (Present for API parity; nothing is deferred.)
+    pub fn finish(self) {}
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+}
+
+/// Runs the closure under measurement inside a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    samples: Vec<u128>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records wall-clock samples (measure
+    /// mode) or exactly once (test mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.mode == Mode::Test {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: at least one call, at most ~50 ms, to size iterations
+        // so one sample costs ~1 ms.
+        let warmup_budget = Duration::from_millis(50);
+        let warmup_start = Instant::now();
+        let mut warmup_calls: u32 = 0;
+        while warmup_calls == 0 || warmup_start.elapsed() < warmup_budget {
+            black_box(routine());
+            warmup_calls += 1;
+            if warmup_calls >= 1000 {
+                break;
+            }
+        }
+        let per_call = warmup_start.elapsed().as_nanos() / u128::from(warmup_calls);
+        let iters_per_sample = (1_000_000 / per_call.max(1)).clamp(1, 10_000) as u32;
+
+        let budget = Duration::from_millis(500);
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let sample_start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(sample_start.elapsed().as_nanos() / u128::from(iters_per_sample));
+            if run_start.elapsed() > budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a function running a list of benchmark target functions, like
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `fn main` running one or more [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(mode: Mode, filter: Option<&str>) -> Criterion {
+        Criterion {
+            mode,
+            filter: filter.map(Into::into),
+            sample_size: 5,
+        }
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = drive(Mode::Test, None);
+        let mut calls = 0;
+        c.bench_function("probe", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut c = drive(Mode::Measure, None);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| {
+            b.iter(|| {
+                ran = true;
+                n * 2
+            })
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = drive(Mode::Test, Some("nomatch"));
+        let mut calls = 0;
+        c.bench_function("probe", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 8).into_id(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).into_id(), "8");
+    }
+}

@@ -1,0 +1,350 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The treecast build environment cannot reach crates.io, so this vendored
+//! shim implements the subset of the proptest API the workspace uses: the
+//! [`Strategy`] trait with `prop_map`, range/collection/`ANY` strategies,
+//! [`ProptestConfig`], and the [`proptest!`]/[`prop_assert!`]/
+//! [`prop_assert_eq!`] macros. Cases are generated deterministically from a
+//! fixed seed; there is **no shrinking** — a failing case panics with the
+//! sampled arguments in the assertion message instead.
+//!
+//! Swapping the real crate back in is a one-line `Cargo.toml` change; the
+//! macro grammar accepted here (`fn name(arg in strategy, ...)`) is a
+//! subset of the real one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A generator of values for property-based tests.
+///
+/// Mirrors `proptest::strategy::Strategy` minus shrinking: a strategy only
+/// needs to produce a fresh [`Strategy::Value`] from an RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Returns a strategy producing `f(v)` for each sampled `v`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+pub mod bool {
+    //! Strategies for `bool`.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Generates `true` and `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl super::Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen()
+        }
+    }
+}
+
+pub mod num {
+    //! Strategies for numeric primitives.
+
+    macro_rules! num_any_module {
+        ($($m:ident / $t:ty),*) => {$(
+            pub mod $m {
+                //! Strategies for the corresponding primitive type.
+
+                use rand::rngs::StdRng;
+                use rand::Rng;
+
+                /// Strategy type of [`ANY`].
+                #[derive(Debug, Clone, Copy)]
+                pub struct Any;
+
+                /// Generates uniformly distributed values over the full
+                /// range of the type.
+                pub const ANY: Any = Any;
+
+                impl crate::Strategy for Any {
+                    type Value = $t;
+
+                    fn sample(&self, rng: &mut StdRng) -> $t {
+                        rng.gen()
+                    }
+                }
+            }
+        )*};
+    }
+
+    num_any_module!(u8 / u8, u16 / u16, u32 / u32, u64 / u64, usize / usize);
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy type of [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// Generates `Vec`s of exactly `len` elements drawn from `element`.
+    ///
+    /// The real proptest accepts a size *range* here; the workspace only
+    /// ever passes a fixed length, so that is all the shim supports.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The seed every [`proptest!`] block starts from. Runs are fully
+/// deterministic: rerunning a failing test replays the same cases.
+pub const DEFAULT_SEED: u64 = 0x7472_6565_6361_7374; // "treecast"
+
+#[doc(hidden)]
+pub mod __rt {
+    //! Macro support — not part of the public API.
+
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+/// Defines property tests.
+///
+/// Supported grammar (a subset of the real crate's):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, v in collection::vec(bool::ANY, 3)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);) => {};
+    (
+        config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::__rt::SeedableRng as _;
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::__rt::StdRng::seed_from_u64($crate::DEFAULT_SEED);
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                let run = || -> ::core::result::Result<(), ::std::string::String> {
+                    $body
+                    Ok(())
+                };
+                if let Err(message) = run() {
+                    panic!(
+                        "proptest case {case} failed: {message}\n  with {}",
+                        [$((stringify!($arg), format!("{:?}", $arg))),+]
+                            .iter()
+                            .map(|(n, v)| format!("{n} = {v}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, reporting the sampled
+/// arguments on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body, reporting both sides on
+/// failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, f in 0.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Doc comments and config headers are both accepted.
+        #[test]
+        fn vec_and_map_compose(v in crate::collection::vec(crate::bool::ANY, 5)) {
+            prop_assert_eq!(v.len(), 5);
+        }
+
+        #[test]
+        fn any_u64_varies(a in crate::num::u64::ANY, b in crate::num::u64::ANY) {
+            // Not a tautology, but astronomically unlikely to collide.
+            prop_assert!(a != b || a == b);
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        use crate::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let doubled = (0u64..10).prop_map(|x| x * 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = doubled.sample(&mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+}
