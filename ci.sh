@@ -32,6 +32,13 @@ cargo test -q
 step "cargo test -q --benches (criterion smoke mode)"
 cargo test -q -p treecast-bench --benches
 
+step "compose bench gate (fails on >25% regression at n = 1024)"
+# Re-measures the compose kernel, writes results/BENCH_compose.json and
+# compares against the checked-in baseline. TREECAST_BENCH_GATE=off skips
+# the comparison (underpowered or heavily loaded hosts).
+cargo run --release -p treecast-bench --bin bench_compose -- \
+    --check results/BENCH_compose_baseline.json
+
 step "cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 

@@ -102,25 +102,32 @@ pub fn beam_search_plan<P: CandidateGen + ?Sized>(
     }
     let mut beam = vec![root];
     let mut last_full_entry: Option<(Entry, RootedTree)> = None;
+    // One probe state reused for every candidate expansion: `clone_from`
+    // recycles the flat heard-matrix buffer, so only candidates that
+    // survive dedup and the witness check pay an allocation.
+    let mut probe = BroadcastState::new(n);
 
     for _round in 0..options.max_rounds {
         let mut next: Vec<Entry> = Vec::new();
         let mut seen: HashSet<u64> = HashSet::new();
         for entry in &beam {
             for tree in pool.candidates(&entry.state) {
-                let mut state = entry.state.clone();
-                state.apply(&tree);
-                if state.broadcast_witness().is_some() {
+                probe.clone_from(&entry.state);
+                probe.apply(&tree);
+                if probe.broadcast_witness().is_some() {
                     // Remember one completing move in case nothing survives.
                     if last_full_entry.is_none() {
                         last_full_entry = Some((entry.clone(), tree));
                     }
                     continue;
                 }
-                if seen.insert(state_fingerprint(&state)) {
+                if seen.insert(state_fingerprint(&probe)) {
                     let mut schedule = entry.schedule.clone();
                     schedule.push(tree);
-                    next.push(Entry { state, schedule });
+                    next.push(Entry {
+                        state: probe.clone(),
+                        schedule,
+                    });
                 }
             }
         }

@@ -21,7 +21,7 @@ pub fn edge_weights(state: &BroadcastState, cost: &dyn Fn(NodeId) -> i64) -> Vec
             if p == y {
                 continue;
             }
-            diff.clone_from(state.heard_set(p));
+            diff.copy_from(state.heard_set(p));
             diff.difference_with(state.heard_set(y));
             w[p][y] = diff.iter().map(|x| cost(x)).sum();
         }
@@ -40,7 +40,7 @@ pub fn token_moves(state: &BroadcastState, tree: &RootedTree) -> Vec<u32> {
     let mut diff = BitSet::new(n);
     for y in 0..n {
         if let Some(p) = tree.parent(y) {
-            diff.clone_from(state.heard_set(p));
+            diff.copy_from(state.heard_set(p));
             diff.difference_with(state.heard_set(y));
             for x in &diff {
                 moves[x] += 1;

@@ -118,7 +118,7 @@ pub(crate) fn reach_weights_after(state: &BroadcastState, tree: &RootedTree) -> 
     let mut fresh = BitSet::new(n);
     for y in 0..n {
         if let Some(p) = tree.parent(y) {
-            fresh.clone_from(state.heard_set(p));
+            fresh.copy_from(state.heard_set(p));
             fresh.difference_with(state.heard_set(y));
             for x in &fresh {
                 weights[x] += 1;

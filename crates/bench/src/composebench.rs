@@ -1,0 +1,148 @@
+//! Shared pieces of the compose benchmark report: the workload
+//! generator, the measurement record, hand-rolled JSON rendering (no
+//! serde in the offline build), and the minimal parser the CI regression
+//! gate needs.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use treecast_bitmatrix::BoolMatrix;
+
+/// Allowed slowdown of `compose_into/1024` against the checked-in
+/// baseline before `bench_compose --check` fails, in percent.
+pub const REGRESSION_HEADROOM_PERCENT: u32 = 25;
+
+/// The measured workload: a reflexive matrix with roughly
+/// `density_percent`% of the off-diagonal entries set.
+///
+/// One definition shared by `benches/compose.rs` and the `bench_compose`
+/// gate binary, so the criterion numbers and the JSON gate can never
+/// silently measure different matrices.
+pub fn random_matrix(n: usize, density_percent: u32, rng: &mut StdRng) -> BoolMatrix {
+    let mut m = BoolMatrix::identity(n);
+    for x in 0..n {
+        for y in 0..n {
+            if rng.gen_ratio(density_percent, 100) {
+                m.set(x, y, true);
+            }
+        }
+    }
+    m
+}
+
+/// One (size, timing) row of the compose benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComposeMeasurement {
+    /// Number of nodes.
+    pub n: usize,
+    /// Best (minimum) ~1 ms-batch mean wall time of one `compose_into`
+    /// call — robust against background load on shared hosts.
+    pub ns_per_op: f64,
+    /// Left-operand edges processed per second (`edges · 1e9 / ns_per_op`).
+    pub edges_per_sec: f64,
+    /// The PR-1 seed implementation's median on the reference host.
+    pub seed_ns_per_op: f64,
+    /// `seed_ns_per_op / ns_per_op`.
+    pub speedup_vs_seed: f64,
+}
+
+/// Renders the measurement rows as the `BENCH_compose.json` document.
+///
+/// The format is intentionally line-oriented (one `"key": value` pair per
+/// line) so [`parse_ns_per_op`] can read it back without a JSON
+/// dependency.
+pub fn render_report(density_percent: u32, rows: &[ComposeMeasurement]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"compose_into\",\n");
+    out.push_str(&format!("  \"density_percent\": {density_percent},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"n\": {},\n", r.n));
+        out.push_str(&format!("      \"ns_per_op\": {:.1},\n", r.ns_per_op));
+        out.push_str(&format!(
+            "      \"edges_per_sec\": {:.0},\n",
+            r.edges_per_sec
+        ));
+        out.push_str(&format!(
+            "      \"seed_ns_per_op\": {:.1},\n",
+            r.seed_ns_per_op
+        ));
+        out.push_str(&format!(
+            "      \"speedup_vs_seed\": {:.2}\n",
+            r.speedup_vs_seed
+        ));
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extracts the `ns_per_op` recorded for size `n` from a
+/// [`render_report`]-formatted document.
+///
+/// Scans for the `"n": <n>` line and reads the `"ns_per_op"` on the
+/// following line — enough structure for the CI gate without a JSON
+/// parser.
+pub fn parse_ns_per_op(report: &str, n: usize) -> Option<f64> {
+    let mut lines = report.lines();
+    let wanted = format!("\"n\": {n},");
+    while let Some(line) = lines.next() {
+        if line.trim() == wanted {
+            let value_line = lines.next()?;
+            let value = value_line
+                .trim()
+                .strip_prefix("\"ns_per_op\": ")?
+                .trim_end_matches(',');
+            return value.parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<ComposeMeasurement> {
+        vec![
+            ComposeMeasurement {
+                n: 64,
+                ns_per_op: 700.0,
+                edges_per_sec: 1e9,
+                seed_ns_per_op: 3834.0,
+                speedup_vs_seed: 5.48,
+            },
+            ComposeMeasurement {
+                n: 1024,
+                ns_per_op: 200_000.0,
+                edges_per_sec: 5e8,
+                seed_ns_per_op: 904_202.0,
+                speedup_vs_seed: 4.52,
+            },
+        ]
+    }
+
+    #[test]
+    fn report_roundtrips_through_parser() {
+        let doc = render_report(10, &rows());
+        assert_eq!(parse_ns_per_op(&doc, 64), Some(700.0));
+        assert_eq!(parse_ns_per_op(&doc, 1024), Some(200_000.0));
+        assert_eq!(parse_ns_per_op(&doc, 256), None);
+    }
+
+    #[test]
+    fn report_is_json_shaped() {
+        let doc = render_report(10, &rows());
+        assert!(doc.starts_with("{\n"));
+        assert!(doc.ends_with("}\n"));
+        assert_eq!(doc.matches("\"ns_per_op\"").count(), 2);
+        // Balanced braces, no trailing comma before a closing bracket.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert!(!doc.contains(",\n  ]"));
+        assert!(!doc.contains(",\n    }"));
+    }
+}

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod composebench;
 pub mod experiments;
 
 use std::fmt::Display;

@@ -18,6 +18,58 @@ pub(crate) const fn words_for(nbits: usize) -> usize {
     nbits.div_ceil(WORD_BITS)
 }
 
+/// A read-only, word-packed view of a set of bits over a fixed universe.
+///
+/// Implemented by [`BitSet`] (owned storage), [`crate::RowRef`] /
+/// [`crate::RowMut`] (borrowed matrix rows), and references to any of
+/// these. All binary set operations on [`BitSet`] accept any `BitView`, so
+/// owned sets and borrowed matrix rows mix freely:
+///
+/// ```
+/// use treecast_bitmatrix::{BitSet, BoolMatrix};
+///
+/// let m = BoolMatrix::identity(4);
+/// let mut acc = BitSet::full(4);
+/// acc.intersect_with(m.row(2)); // RowRef works wherever a &BitSet did
+/// assert_eq!(acc.iter().collect::<Vec<_>>(), vec![2]);
+/// ```
+///
+/// # Invariant
+///
+/// `words().len() == universe_size().div_ceil(64)` and every bit at
+/// position `>= universe_size()` is zero (masked tail words).
+pub trait BitView {
+    /// The size of the universe the bits are drawn from.
+    fn universe_size(&self) -> usize;
+
+    /// The packed storage words, least-significant bit = element 0.
+    fn words(&self) -> &[u64];
+}
+
+impl BitView for BitSet {
+    #[inline]
+    fn universe_size(&self) -> usize {
+        self.nbits
+    }
+
+    #[inline]
+    fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl<V: BitView + ?Sized> BitView for &V {
+    #[inline]
+    fn universe_size(&self) -> usize {
+        (**self).universe_size()
+    }
+
+    #[inline]
+    fn words(&self) -> &[u64] {
+        (**self).words()
+    }
+}
+
 /// A dense set of `usize` elements drawn from a fixed universe
 /// `{0, …, universe_size − 1}`.
 ///
@@ -243,15 +295,28 @@ impl BitSet {
         self.words.iter_mut().for_each(|w| *w = 0);
     }
 
+    /// Overwrites `self` with the contents of any same-universe view —
+    /// the borrowing-friendly replacement for `clone_from` now that matrix
+    /// rows are handed out as [`crate::RowRef`] views.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe sizes differ.
+    #[inline]
+    pub fn copy_from<V: BitView>(&mut self, other: V) {
+        self.check_same_universe(&other);
+        self.words.copy_from_slice(other.words());
+    }
+
     /// In-place union: `self ← self ∪ other`.
     ///
     /// # Panics
     ///
     /// Panics if the universe sizes differ.
     #[inline]
-    pub fn union_with(&mut self, other: &BitSet) {
-        self.check_same_universe(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+    pub fn union_with<V: BitView>(&mut self, other: V) {
+        self.check_same_universe(&other);
+        for (a, b) in self.words.iter_mut().zip(other.words()) {
             *a |= b;
         }
     }
@@ -262,9 +327,9 @@ impl BitSet {
     ///
     /// Panics if the universe sizes differ.
     #[inline]
-    pub fn intersect_with(&mut self, other: &BitSet) {
-        self.check_same_universe(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+    pub fn intersect_with<V: BitView>(&mut self, other: V) {
+        self.check_same_universe(&other);
+        for (a, b) in self.words.iter_mut().zip(other.words()) {
             *a &= b;
         }
     }
@@ -275,9 +340,9 @@ impl BitSet {
     ///
     /// Panics if the universe sizes differ.
     #[inline]
-    pub fn difference_with(&mut self, other: &BitSet) {
-        self.check_same_universe(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+    pub fn difference_with<V: BitView>(&mut self, other: V) {
+        self.check_same_universe(&other);
+        for (a, b) in self.words.iter_mut().zip(other.words()) {
             *a &= !b;
         }
     }
@@ -288,9 +353,9 @@ impl BitSet {
     ///
     /// Panics if the universe sizes differ.
     #[inline]
-    pub fn symmetric_difference_with(&mut self, other: &BitSet) {
-        self.check_same_universe(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+    pub fn symmetric_difference_with<V: BitView>(&mut self, other: V) {
+        self.check_same_universe(&other);
+        for (a, b) in self.words.iter_mut().zip(other.words()) {
             *a ^= b;
         }
     }
@@ -318,12 +383,9 @@ impl BitSet {
     ///
     /// Panics if the universe sizes differ.
     #[inline]
-    pub fn is_subset(&self, other: &BitSet) -> bool {
-        self.check_same_universe(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & !b == 0)
+    pub fn is_subset<V: BitView>(&self, other: V) -> bool {
+        self.check_same_universe(&other);
+        words_subset(&self.words, other.words())
     }
 
     /// Returns `true` if `self ⊇ other`.
@@ -332,8 +394,9 @@ impl BitSet {
     ///
     /// Panics if the universe sizes differ.
     #[inline]
-    pub fn is_superset(&self, other: &BitSet) -> bool {
-        other.is_subset(self)
+    pub fn is_superset<V: BitView>(&self, other: V) -> bool {
+        self.check_same_universe(&other);
+        words_subset(other.words(), &self.words)
     }
 
     /// Returns `true` if the sets share no element.
@@ -342,9 +405,9 @@ impl BitSet {
     ///
     /// Panics if the universe sizes differ.
     #[inline]
-    pub fn is_disjoint(&self, other: &BitSet) -> bool {
-        self.check_same_universe(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    pub fn is_disjoint<V: BitView>(&self, other: V) -> bool {
+        self.check_same_universe(&other);
+        words_disjoint(&self.words, other.words())
     }
 
     /// Returns `true` if the sets share at least one element.
@@ -353,7 +416,7 @@ impl BitSet {
     ///
     /// Panics if the universe sizes differ.
     #[inline]
-    pub fn intersects(&self, other: &BitSet) -> bool {
+    pub fn intersects<V: BitView>(&self, other: V) -> bool {
         !self.is_disjoint(other)
     }
 
@@ -363,13 +426,9 @@ impl BitSet {
     ///
     /// Panics if the universe sizes differ.
     #[inline]
-    pub fn intersection_len(&self, other: &BitSet) -> usize {
-        self.check_same_universe(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+    pub fn intersection_len<V: BitView>(&self, other: V) -> usize {
+        self.check_same_universe(&other);
+        words_intersection_len(&self.words, other.words())
     }
 
     /// Number of elements in `self \ other` without materializing it.
@@ -381,13 +440,9 @@ impl BitSet {
     ///
     /// Panics if the universe sizes differ.
     #[inline]
-    pub fn difference_len(&self, other: &BitSet) -> usize {
-        self.check_same_universe(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & !b).count_ones() as usize)
-            .sum()
+    pub fn difference_len<V: BitView>(&self, other: V) -> usize {
+        self.check_same_universe(&other);
+        words_difference_len(&self.words, other.words())
     }
 
     /// The smallest element, if any.
@@ -428,11 +483,7 @@ impl BitSet {
     /// assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
     /// ```
     pub fn iter(&self) -> Iter<'_> {
-        Iter {
-            set: self,
-            word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
-        }
+        Iter::over_words(&self.words)
     }
 
     /// Grows or shrinks the universe to `nbits`, dropping elements that no
@@ -444,11 +495,13 @@ impl BitSet {
     }
 
     #[inline]
-    fn check_same_universe(&self, other: &BitSet) {
+    fn check_same_universe<V: BitView>(&self, other: &V) {
         assert_eq!(
-            self.nbits, other.nbits,
+            self.nbits,
+            other.universe_size(),
             "bitset universe mismatch: {} vs {}",
-            self.nbits, other.nbits
+            self.nbits,
+            other.universe_size()
         );
     }
 
@@ -462,6 +515,36 @@ impl BitSet {
             }
         }
     }
+}
+
+/// `a ⊆ b` on equally sized masked word slices.
+#[inline]
+pub(crate) fn words_subset(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x & !y == 0)
+}
+
+/// `a ∩ b = ∅` on equally sized masked word slices.
+#[inline]
+pub(crate) fn words_disjoint(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x & y == 0)
+}
+
+/// `|a ∩ b|` on equally sized masked word slices.
+#[inline]
+pub(crate) fn words_intersection_len(a: &[u64], b: &[u64]) -> usize {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x & y).count_ones() as usize)
+        .sum()
+}
+
+/// `|a \ b|` on equally sized masked word slices.
+#[inline]
+pub(crate) fn words_difference_len(a: &[u64], b: &[u64]) -> usize {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x & !y).count_ones() as usize)
+        .sum()
 }
 
 impl fmt::Debug for BitSet {
@@ -535,12 +618,27 @@ impl Extend<usize> for BitSet {
     }
 }
 
-/// Iterator over the elements of a [`BitSet`] in increasing order.
+/// Iterator over the elements of a word-packed set in increasing order.
+///
+/// Produced by [`BitSet::iter`] and [`crate::RowRef::iter`]: it walks any
+/// borrowed word slice, so owned sets and matrix-row views share it.
 #[derive(Debug, Clone)]
 pub struct Iter<'a> {
-    set: &'a BitSet,
+    words: &'a [u64],
     word_idx: usize,
     current: u64,
+}
+
+impl<'a> Iter<'a> {
+    /// Iterates the set bits of a masked word slice.
+    #[inline]
+    pub(crate) fn over_words(words: &'a [u64]) -> Self {
+        Iter {
+            words,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
 }
 
 impl Iterator for Iter<'_> {
@@ -554,16 +652,16 @@ impl Iterator for Iter<'_> {
                 return Some(self.word_idx * WORD_BITS + bit);
             }
             self.word_idx += 1;
-            if self.word_idx >= self.set.words.len() {
+            if self.word_idx >= self.words.len() {
                 return None;
             }
-            self.current = self.set.words[self.word_idx];
+            self.current = self.words[self.word_idx];
         }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         let remaining = self.current.count_ones() as usize
-            + self.set.words[(self.word_idx + 1).min(self.set.words.len())..]
+            + self.words[(self.word_idx + 1).min(self.words.len())..]
                 .iter()
                 .map(|w| w.count_ones() as usize)
                 .sum::<usize>();

@@ -13,11 +13,15 @@
 //!
 //! Three representations are provided:
 //!
-//! * [`BitSet`] — a dense set over `{0, …, n−1}`; rows, reach sets and
+//! * [`BitSet`] — a dense set over `{0, …, n−1}`; reach sets and
 //!   heard-from sets.
-//! * [`BoolMatrix`] — an `n×n` matrix of [`BitSet`] rows with the product,
-//!   transpose, weight profiles, and the broadcast/gossip/nonsplit
-//!   predicates used throughout the evaluation.
+//! * [`BoolMatrix`] — an `n×n` matrix in one contiguous row-major
+//!   `Vec<u64>` with the product ([`BoolMatrix::compose_into`] is the
+//!   allocation-free, cache-tiled, optionally parallel kernel), transpose,
+//!   weight profiles, and the broadcast/gossip/nonsplit predicates used
+//!   throughout the evaluation. Rows are borrowed out as
+//!   [`RowRef`]/[`RowMut`] views, interchangeable with [`BitSet`] through
+//!   the [`BitView`] trait.
 //! * [`PackedMatrix`] — an entire matrix in one `u64` for `n ≤ 8`, powering
 //!   the exact state-space solver.
 //!
@@ -50,10 +54,12 @@
 mod bitset;
 mod matrix;
 mod packed;
+mod row;
 
 #[cfg(feature = "proptest")]
 pub mod strategies;
 
-pub use bitset::{BitSet, Iter, ParseBitSetError};
-pub use matrix::{BoolMatrix, ParseMatrixError};
+pub use bitset::{BitSet, BitView, Iter, ParseBitSetError};
+pub use matrix::{BoolMatrix, ComposePath, ParseMatrixError};
 pub use packed::{PackedMatrix, PACKED_MAX_N};
+pub use row::{RowMut, RowRef};

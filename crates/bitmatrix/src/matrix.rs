@@ -4,15 +4,52 @@
 //! `(x, y) ∈ A∘B ⇔ ∃z. (x, z) ∈ A ∧ (z, y) ∈ B`, which is exactly the
 //! boolean matrix product. All analysis of broadcast time reduces to
 //! tracking how products of rooted-tree matrices evolve.
+//!
+//! # Storage layout
+//!
+//! The matrix is one contiguous `Vec<u64>` in row-major order with a
+//! fixed stride of [`BoolMatrix::words_per_row`] words per row: entry
+//! `(x, y)` lives at bit `y % 64` of word `x * words_per_row + y / 64`.
+//! Bits past `n` in each row's last word are always zero (the same
+//! tail-masking invariant [`BitSet`] keeps), so word-wise equality,
+//! hashing and popcounts are exact. Rows are handed out as borrowed
+//! [`RowRef`]/[`RowMut`] views — no per-row heap allocations anywhere.
 
 use core::fmt;
 use core::ops::Mul;
 use core::str::FromStr;
 use std::collections::HashSet;
 
-use crate::bitset::BitSet;
+use crate::bitset::{words_for, BitSet, BitView, WORD_BITS};
+use crate::row::{RowMut, RowRef};
 
-/// A square boolean matrix over `n` nodes, stored as one [`BitSet`] per row.
+/// Smallest `n` for which the auto-selected kernel shards rows across
+/// threads (only when more than one hardware thread is available).
+const PARALLEL_MIN_N: usize = 512;
+
+/// Kernel selector for [`BoolMatrix::compose_into_with`].
+///
+/// [`ComposePath::Auto`] (the default used by [`BoolMatrix::compose_into`])
+/// picks the sparse path for tree-like inputs (≤ 2n edges), the parallel
+/// path for large matrices on multicore hosts, and the tiled serial path
+/// otherwise. The explicit variants exist for benchmarks and for the
+/// kernel-equivalence test suite; results are identical on every path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComposePath {
+    /// Choose a kernel from the left operand's density and the host's
+    /// parallelism.
+    Auto,
+    /// Row-by-row bit iteration — optimal when the left operand is a tree
+    /// round (O(e · n/64) for `e` edges).
+    Sparse,
+    /// Cache-tiled over column-word blocks with register accumulators.
+    Tiled,
+    /// The tiled kernel with rows sharded across `std::thread::scope`
+    /// workers.
+    Parallel,
+}
+
+/// A square boolean matrix over `n` nodes in flat word-packed storage.
 ///
 /// Row `x` is the *out-neighborhood* (reach set) of node `x`: entry
 /// `(x, y)` is `true` iff there is an edge from `x` to `y`.
@@ -33,19 +70,41 @@ use crate::bitset::BitSet;
 /// let product = &(&path * &path) * &path; // composing more changes nothing new
 /// assert_eq!(product.first_full_row(), Some(0));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BoolMatrix {
     n: usize,
-    rows: Vec<BitSet>,
+    /// Words per row; `words.len() == n * stride`.
+    stride: usize,
+    words: Vec<u64>,
+}
+
+impl Clone for BoolMatrix {
+    fn clone(&self) -> Self {
+        BoolMatrix {
+            n: self.n,
+            stride: self.stride,
+            words: self.words.clone(),
+        }
+    }
+
+    /// Reuses `self`'s existing buffer when the capacity suffices — the
+    /// hot path for beam-search state probing.
+    fn clone_from(&mut self, source: &Self) {
+        self.n = source.n;
+        self.stride = source.stride;
+        self.words.clone_from(&source.words);
+    }
 }
 
 impl BoolMatrix {
     /// Creates the all-zeros matrix on `n` nodes.
     pub fn zeros(n: usize) -> Self {
+        let stride = words_for(n);
         BoolMatrix {
             n,
-            rows: vec![BitSet::new(n); n],
+            stride,
+            words: vec![0; n * stride],
         }
     }
 
@@ -64,18 +123,20 @@ impl BoolMatrix {
     /// ```
     pub fn identity(n: usize) -> Self {
         let mut m = BoolMatrix::zeros(n);
-        for i in 0..n {
-            m.rows[i].insert(i);
-        }
+        m.add_self_loops();
         m
     }
 
     /// Creates the all-ones matrix on `n` nodes.
     pub fn ones(n: usize) -> Self {
-        BoolMatrix {
+        let stride = words_for(n);
+        let mut m = BoolMatrix {
             n,
-            rows: vec![BitSet::full(n); n],
-        }
+            stride,
+            words: vec![u64::MAX; n * stride],
+        };
+        m.mask_tails();
+        m
     }
 
     /// Builds a matrix from explicit rows.
@@ -85,6 +146,7 @@ impl BoolMatrix {
     /// Panics if any row's universe size differs from the number of rows.
     pub fn from_rows(rows: Vec<BitSet>) -> Self {
         let n = rows.len();
+        let mut m = BoolMatrix::zeros(n);
         for (i, r) in rows.iter().enumerate() {
             assert_eq!(
                 r.universe_size(),
@@ -94,8 +156,9 @@ impl BoolMatrix {
                 r.universe_size(),
                 n
             );
+            m.row_words_mut(i).copy_from_slice(BitView::words(r));
         }
-        BoolMatrix { n, rows }
+        m
     }
 
     /// Builds a matrix from an edge list.
@@ -125,12 +188,56 @@ impl BoolMatrix {
         self.n
     }
 
+    /// The row stride of the flat storage, in `u64` words.
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.stride
+    }
+
+    /// The flat row-major storage (`n * words_per_row` words, tail bits of
+    /// each row zero).
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The word slice of row `x`.
+    #[inline]
+    fn row_words(&self, x: usize) -> &[u64] {
+        &self.words[x * self.stride..(x + 1) * self.stride]
+    }
+
+    /// The mutable word slice of row `x`.
+    #[inline]
+    fn row_words_mut(&mut self, x: usize) -> &mut [u64] {
+        &mut self.words[x * self.stride..(x + 1) * self.stride]
+    }
+
+    /// Zeroes any bits beyond `n` in each row's last word.
+    fn mask_tails(&mut self) {
+        let rem = self.n % WORD_BITS;
+        if rem != 0 && self.stride > 0 {
+            let mask = (1u64 << rem) - 1;
+            let stride = self.stride;
+            for row in self.words.chunks_exact_mut(stride) {
+                row[stride - 1] &= mask;
+            }
+        }
+    }
+
+    /// Clears every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
     /// Reads entry `(x, y)`.
     ///
     /// Out-of-range queries return `false`.
     #[inline]
     pub fn get(&self, x: usize, y: usize) -> bool {
-        x < self.n && self.rows[x].contains(y)
+        x < self.n
+            && y < self.n
+            && self.words[x * self.stride + y / WORD_BITS] & (1u64 << (y % WORD_BITS)) != 0
     }
 
     /// Writes entry `(x, y)`.
@@ -141,36 +248,75 @@ impl BoolMatrix {
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, value: bool) {
         assert!(x < self.n, "row {} out of range for n = {}", x, self.n);
+        assert!(y < self.n, "column {} out of range for n = {}", y, self.n);
+        let w = &mut self.words[x * self.stride + y / WORD_BITS];
+        let mask = 1u64 << (y % WORD_BITS);
         if value {
-            self.rows[x].insert(y);
+            *w |= mask;
         } else {
-            self.rows[x].remove(y);
+            *w &= !mask;
         }
     }
 
-    /// Borrows row `x` (the reach set of node `x`).
+    /// Borrows row `x` (the reach set of node `x`) as a zero-copy view.
     ///
     /// # Panics
     ///
     /// Panics if `x >= n`.
     #[inline]
-    pub fn row(&self, x: usize) -> &BitSet {
-        &self.rows[x]
+    pub fn row(&self, x: usize) -> RowRef<'_> {
+        assert!(x < self.n, "row {} out of range for n = {}", x, self.n);
+        RowRef::new(self.n, self.row_words(x))
     }
 
-    /// Mutably borrows row `x`.
+    /// Mutably borrows row `x` as a zero-copy view.
     ///
     /// # Panics
     ///
     /// Panics if `x >= n`.
     #[inline]
-    pub fn row_mut(&mut self, x: usize) -> &mut BitSet {
-        &mut self.rows[x]
+    pub fn row_mut(&mut self, x: usize) -> RowMut<'_> {
+        assert!(x < self.n, "row {} out of range for n = {}", x, self.n);
+        let n = self.n;
+        RowMut::new(n, self.row_words_mut(x))
     }
 
     /// Iterates over all rows in index order.
-    pub fn rows(&self) -> impl ExactSizeIterator<Item = &BitSet> {
-        self.rows.iter()
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = RowRef<'_>> {
+        self.words
+            .chunks_exact(self.stride.max(1))
+            .take(self.n)
+            .map(|w| RowRef::new(self.n, w))
+    }
+
+    /// In-place row union: `row dst ← row dst ∪ row src`.
+    ///
+    /// This is the column-view round update primitive: applying a tree
+    /// edge `parent → child` to a heard-from matrix is exactly one such
+    /// union. A no-op when `dst == src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst >= n` or `src >= n`.
+    #[inline]
+    pub fn union_rows(&mut self, dst: usize, src: usize) {
+        assert!(dst < self.n, "row {} out of range for n = {}", dst, self.n);
+        assert!(src < self.n, "row {} out of range for n = {}", src, self.n);
+        if dst == src {
+            return;
+        }
+        let stride = self.stride;
+        let (d, s) = (dst * stride, src * stride);
+        let (dst_row, src_row) = if dst < src {
+            let (lo, hi) = self.words.split_at_mut(s);
+            (&mut lo[d..d + stride], &hi[..stride])
+        } else {
+            let (lo, hi) = self.words.split_at_mut(d);
+            (&mut hi[..stride], &lo[s..s + stride])
+        };
+        for (a, b) in dst_row.iter_mut().zip(src_row) {
+            *a |= b;
+        }
     }
 
     /// Materializes column `y` as a [`BitSet`] (the in-neighborhood of `y`).
@@ -180,9 +326,11 @@ impl BoolMatrix {
     /// Panics if `y >= n`.
     pub fn column(&self, y: usize) -> BitSet {
         assert!(y < self.n, "column {} out of range for n = {}", y, self.n);
+        let word = y / WORD_BITS;
+        let mask = 1u64 << (y % WORD_BITS);
         let mut col = BitSet::new(self.n);
-        for (x, row) in self.rows.iter().enumerate() {
-            if row.contains(y) {
+        for x in 0..self.n {
+            if self.words[x * self.stride + word] & mask != 0 {
                 col.insert(x);
             }
         }
@@ -192,9 +340,11 @@ impl BoolMatrix {
     /// The transposed matrix.
     pub fn transpose(&self) -> BoolMatrix {
         let mut t = BoolMatrix::zeros(self.n);
-        for (x, row) in self.rows.iter().enumerate() {
-            for y in row {
-                t.rows[y].insert(x);
+        for x in 0..self.n {
+            let x_word = x / WORD_BITS;
+            let x_mask = 1u64 << (x % WORD_BITS);
+            for y in self.row(x) {
+                t.words[y * t.stride + x_word] |= x_mask;
             }
         }
         t
@@ -203,9 +353,8 @@ impl BoolMatrix {
     /// The product `self ∘ other` of Definition 2.1:
     /// `(x, y) ∈ A∘B ⇔ ∃z. (x, z) ∈ A ∧ (z, y) ∈ B`.
     ///
-    /// Row formulation: `(A∘B).row(x) = ⋃_{z ∈ A.row(x)} B.row(z)`,
-    /// computed with word-parallel unions in `O(n·e/64)` where `e` is the
-    /// number of edges of `A`.
+    /// Allocates a fresh output; hot paths should hold a scratch matrix
+    /// and call [`BoolMatrix::compose_into`] instead.
     ///
     /// # Panics
     ///
@@ -221,19 +370,92 @@ impl BoolMatrix {
     /// assert!(!b.compose(&a).get(0, 2));
     /// ```
     pub fn compose(&self, other: &BoolMatrix) -> BoolMatrix {
+        let mut out = BoolMatrix::zeros(self.n);
+        self.compose_into(other, &mut out);
+        out
+    }
+
+    /// Allocation-free product: computes `self ∘ other` into `out`,
+    /// overwriting its previous contents and reusing its buffer.
+    ///
+    /// The kernel is chosen automatically ([`ComposePath::Auto`]): a
+    /// sparse fast path when `self` has at most `2n` edges (every tree
+    /// round qualifies), a row-sharded parallel path for large matrices on
+    /// multicore hosts, and a cache-tiled serial path otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions of `self`, `other` and `out` differ.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use treecast_bitmatrix::BoolMatrix;
+    /// let a = BoolMatrix::from_edges(3, [(0, 1)]);
+    /// let b = BoolMatrix::from_edges(3, [(1, 2)]);
+    /// let mut out = BoolMatrix::zeros(3);
+    /// a.compose_into(&b, &mut out); // no allocation: `out` is reused
+    /// assert!(out.get(0, 2));
+    /// ```
+    pub fn compose_into(&self, other: &BoolMatrix, out: &mut BoolMatrix) {
+        self.compose_into_with(other, out, ComposePath::Auto);
+    }
+
+    /// [`BoolMatrix::compose_into`] with an explicit kernel choice.
+    ///
+    /// All paths produce identical results; see [`ComposePath`] for when
+    /// each is profitable. Exposed for benchmarking and for the
+    /// kernel-equivalence tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions of `self`, `other` and `out` differ.
+    pub fn compose_into_with(&self, other: &BoolMatrix, out: &mut BoolMatrix, path: ComposePath) {
         assert_eq!(
             self.n, other.n,
             "matrix dimension mismatch: {} vs {}",
             self.n, other.n
         );
-        let mut out = BoolMatrix::zeros(self.n);
-        for (x, row) in self.rows.iter().enumerate() {
-            let out_row = &mut out.rows[x];
-            for z in row {
-                out_row.union_with(&other.rows[z]);
+        assert_eq!(
+            self.n, out.n,
+            "output matrix dimension mismatch: {} vs {}",
+            out.n, self.n
+        );
+        out.clear();
+        if self.n == 0 {
+            return;
+        }
+        let path = match path {
+            ComposePath::Auto => {
+                if self.has_at_most_edges(2 * self.n) {
+                    ComposePath::Sparse
+                } else if self.n >= PARALLEL_MIN_N && hardware_threads() > 1 {
+                    ComposePath::Parallel
+                } else {
+                    ComposePath::Tiled
+                }
+            }
+            explicit => explicit,
+        };
+        match path {
+            ComposePath::Sparse => compose_rows_sparse(self, other, 0, &mut out.words),
+            ComposePath::Tiled => compose_rows_tiled(self, other, 0, &mut out.words),
+            ComposePath::Parallel => compose_parallel(self, other, &mut out.words),
+            ComposePath::Auto => unreachable!("Auto resolved above"),
+        }
+    }
+
+    /// Returns `true` if the matrix has at most `limit` set entries,
+    /// bailing out of the popcount scan as soon as the limit is exceeded.
+    fn has_at_most_edges(&self, limit: usize) -> bool {
+        let mut count = 0usize;
+        for &w in &self.words {
+            count += w.count_ones() as usize;
+            if count > limit {
+                return false;
             }
         }
-        out
+        true
     }
 
     /// In-place union: `self ← self ∪ other` (entry-wise OR).
@@ -247,8 +469,8 @@ impl BoolMatrix {
             "matrix dimension mismatch: {} vs {}",
             self.n, other.n
         );
-        for (a, b) in self.rows.iter_mut().zip(&other.rows) {
-            a.union_with(b);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
         }
     }
 
@@ -263,38 +485,39 @@ impl BoolMatrix {
             "matrix dimension mismatch: {} vs {}",
             self.n, other.n
         );
-        self.rows
+        self.words
             .iter()
-            .zip(&other.rows)
-            .all(|(a, b)| a.is_subset(b))
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Returns `true` if every diagonal entry is set.
     pub fn is_reflexive(&self) -> bool {
-        self.rows.iter().enumerate().all(|(i, r)| r.contains(i))
+        (0..self.n)
+            .all(|i| self.words[i * self.stride + i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0)
     }
 
     /// Sets every diagonal entry.
     pub fn add_self_loops(&mut self) {
-        for (i, row) in self.rows.iter_mut().enumerate() {
-            row.insert(i);
+        for i in 0..self.n {
+            self.words[i * self.stride + i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
         }
     }
 
     /// Total number of edges (set entries), self-loops included.
     pub fn edge_count(&self) -> usize {
-        self.rows.iter().map(BitSet::len).sum()
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// The weight (popcount) of each row — the paper's central quantity.
     pub fn row_weights(&self) -> Vec<usize> {
-        self.rows.iter().map(BitSet::len).collect()
+        self.rows().map(|r| r.len()).collect()
     }
 
     /// The weight of each column.
     pub fn col_weights(&self) -> Vec<usize> {
         let mut w = vec![0usize; self.n];
-        for row in &self.rows {
+        for row in self.rows() {
             for y in row {
                 w[y] += 1;
             }
@@ -313,7 +536,7 @@ impl BoolMatrix {
     /// assert_eq!(BoolMatrix::identity(2).first_full_row(), None);
     /// ```
     pub fn first_full_row(&self) -> Option<usize> {
-        self.rows.iter().position(BitSet::is_full)
+        (0..self.n).find(|&x| self.row(x).is_full())
     }
 
     /// Returns `true` if some node has reached every node.
@@ -324,13 +547,17 @@ impl BoolMatrix {
 
     /// All broadcast witnesses.
     pub fn full_rows(&self) -> Vec<usize> {
-        (0..self.n).filter(|&x| self.rows[x].is_full()).collect()
+        (0..self.n).filter(|&x| self.row(x).is_full()).collect()
     }
 
     /// Returns `true` if every entry is set — the gossip condition
     /// (everyone has heard from everyone).
+    ///
+    /// Short-circuits at the first non-full row: this runs once per
+    /// round in the gossip-measuring loops, where early rounds are far
+    /// from complete.
     pub fn is_all_ones(&self) -> bool {
-        self.rows.iter().all(BitSet::is_full)
+        self.rows().all(|r| r.is_full())
     }
 
     /// Number of pairwise-distinct rows.
@@ -338,9 +565,9 @@ impl BoolMatrix {
     /// The paper's matrix analysis tracks duplication among rows; a matrix
     /// with many duplicate rows is "compressible" and progresses faster.
     pub fn distinct_row_count(&self) -> usize {
-        let mut seen: HashSet<&BitSet> = HashSet::with_capacity(self.n);
-        for row in &self.rows {
-            seen.insert(row);
+        let mut seen: HashSet<&[u64]> = HashSet::with_capacity(self.n);
+        for x in 0..self.n {
+            seen.insert(self.row_words(x));
         }
         seen.len()
     }
@@ -351,6 +578,10 @@ impl BoolMatrix {
     /// Nonsplit graphs power the previous best `O(n log log n)` upper bound
     /// ([Függer, Nowak & Winkler 2020] combined with
     /// [Charron-Bost, Függer & Nowak 2015]).
+    ///
+    /// Computed over a single [`BoolMatrix::transpose`] (row `y` of the
+    /// transpose is column `y` of `self`), with an immediate exit when any
+    /// column is empty — an uncovered node splits from every other node.
     ///
     /// # Examples
     ///
@@ -366,10 +597,18 @@ impl BoolMatrix {
     /// assert!(!BoolMatrix::identity(2).is_nonsplit());
     /// ```
     pub fn is_nonsplit(&self) -> bool {
-        let cols: Vec<BitSet> = (0..self.n).map(|y| self.column(y)).collect();
+        if self.n <= 1 {
+            return true;
+        }
+        let t = self.transpose();
+        // An empty column is disjoint from every other column.
+        if (0..self.n).any(|y| t.row(y).is_empty()) {
+            return false;
+        }
         for a in 0..self.n {
+            let col_a = t.row(a);
             for b in (a + 1)..self.n {
-                if cols[a].is_disjoint(&cols[b]) {
+                if col_a.is_disjoint(t.row(b)) {
                     return false;
                 }
             }
@@ -395,13 +634,152 @@ impl BoolMatrix {
             seen[p] = true;
         }
         let mut out = BoolMatrix::zeros(self.n);
-        for (x, row) in self.rows.iter().enumerate() {
-            for y in row {
-                out.rows[perm[x]].insert(perm[y]);
+        for x in 0..self.n {
+            let px = perm[x];
+            for y in self.row(x) {
+                let py = perm[y];
+                out.words[px * out.stride + py / WORD_BITS] |= 1u64 << (py % WORD_BITS);
             }
         }
         out
     }
+}
+
+/// The number of hardware threads, 1 if unknown.
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Sparse kernel: for each output row, OR together `other`'s rows at the
+/// set bits of `self`'s row. `out` holds rows `first_row ..` of the
+/// product.
+fn compose_rows_sparse(a: &BoolMatrix, b: &BoolMatrix, first_row: usize, out: &mut [u64]) {
+    let stride = a.stride;
+    for (local_x, out_row) in out.chunks_exact_mut(stride).enumerate() {
+        let a_row = a.row_words(first_row + local_x);
+        for (wi, &aw) in a_row.iter().enumerate() {
+            let mut bits = aw;
+            while bits != 0 {
+                let z = wi * WORD_BITS + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                for (o, &w) in out_row.iter_mut().zip(b.row_words(z)) {
+                    *o |= w;
+                }
+            }
+        }
+    }
+}
+
+/// Tiled kernel: walks the output in blocks of up to 16 column words,
+/// accumulating each block in registers so every output
+/// word is written exactly once and `other`'s per-tile working set stays
+/// cache-resident. Each pass runs at a fixed power-of-two width
+/// (16/8/4/2/1 words), so the inner OR loop unrolls and vectorizes at
+/// every matrix size, not just multiples of the largest tile.
+fn compose_rows_tiled(a: &BoolMatrix, b: &BoolMatrix, first_row: usize, out: &mut [u64]) {
+    let stride = a.stride;
+    let mut col_word = 0usize;
+    while col_word < stride {
+        let remaining = stride - col_word;
+        let tile = if remaining >= 16 {
+            tile_pass::<16>(a, b, first_row, col_word, out);
+            16
+        } else if remaining >= 8 {
+            tile_pass::<8>(a, b, first_row, col_word, out);
+            8
+        } else if remaining >= 4 {
+            tile_pass::<4>(a, b, first_row, col_word, out);
+            4
+        } else if remaining >= 2 {
+            tile_pass::<2>(a, b, first_row, col_word, out);
+            2
+        } else {
+            tile_pass::<1>(a, b, first_row, col_word, out);
+            1
+        };
+        col_word += tile;
+    }
+}
+
+/// One tile pass of fixed width `T` words over rows `first_row ..`.
+///
+/// The accumulator is a `[u64; T]` and every `other`-row segment is a
+/// `&[u64; T]`, so the OR loop is branch-free straight-line SIMD code.
+/// `saturated` is the tile's all-ones pattern (tail-masked in the final
+/// column word): once the accumulator reaches it no further union can
+/// change it, and the rest of the row's source bits are skipped — the
+/// dominant saving on the dense, nearly-closed products that reflexive
+/// round sequences converge to.
+fn tile_pass<const T: usize>(
+    a: &BoolMatrix,
+    b: &BoolMatrix,
+    first_row: usize,
+    col_word: usize,
+    out: &mut [u64],
+) {
+    let stride = a.stride;
+    let saturated = tile_saturation_mask::<T>(a, col_word);
+    for (local_x, out_row) in out.chunks_exact_mut(stride).enumerate() {
+        let a_row = a.row_words(first_row + local_x);
+        let mut acc = [0u64; T];
+        'row: for (wi, &aw) in a_row.iter().enumerate() {
+            let mut bits = aw;
+            while bits != 0 {
+                let z = wi * WORD_BITS + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let base = z * stride + col_word;
+                let seg: &[u64; T] = b.words[base..base + T]
+                    .try_into()
+                    .expect("tile segment has T words");
+                for i in 0..T {
+                    acc[i] |= seg[i];
+                }
+            }
+            if aw != 0 {
+                let mut missing = 0u64;
+                for i in 0..T {
+                    missing |= saturated[i] & !acc[i];
+                }
+                if missing == 0 {
+                    break 'row;
+                }
+            }
+        }
+        out_row[col_word..col_word + T].copy_from_slice(&acc);
+    }
+}
+
+/// The all-ones pattern of a `T`-word tile starting at `col_word`:
+/// `u64::MAX` everywhere except the matrix's final column word, which
+/// carries the tail mask.
+fn tile_saturation_mask<const T: usize>(a: &BoolMatrix, col_word: usize) -> [u64; T] {
+    let mut mask = [0u64; T];
+    let rem = a.n % WORD_BITS;
+    for (i, m) in mask.iter_mut().enumerate() {
+        *m = if col_word + i == a.stride - 1 && rem != 0 {
+            (1u64 << rem) - 1
+        } else {
+            u64::MAX
+        };
+    }
+    mask
+}
+
+/// Parallel kernel: shards output rows into contiguous chunks, one
+/// `std::thread::scope` worker per chunk, each running the tiled kernel
+/// over its rows. The shard count follows the host's parallelism (at
+/// least 2, so an explicit [`ComposePath::Parallel`] request exercises
+/// real sharding even on a single-core host).
+fn compose_parallel(a: &BoolMatrix, b: &BoolMatrix, out: &mut [u64]) {
+    let shards = hardware_threads().max(2).min(a.n);
+    let rows_per_shard = a.n.div_ceil(shards);
+    std::thread::scope(|scope| {
+        for (i, chunk) in out.chunks_mut(rows_per_shard * a.stride).enumerate() {
+            scope.spawn(move || compose_rows_tiled(a, b, i * rows_per_shard, chunk));
+        }
+    });
 }
 
 impl Mul for &BoolMatrix {
@@ -423,11 +801,11 @@ impl fmt::Debug for BoolMatrix {
 /// Renders the matrix as `n` lines of `n` bits, row 0 first.
 impl fmt::Display for BoolMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, row) in self.rows.iter().enumerate() {
-            if i > 0 {
+        for x in 0..self.n {
+            if x > 0 {
                 f.write_str("\n")?;
             }
-            write!(f, "{row}")?;
+            write!(f, "{}", self.row(x))?;
         }
         Ok(())
     }
@@ -481,7 +859,7 @@ impl FromStr for BoolMatrix {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let lines: Vec<&str> = s.lines().filter(|l| !l.trim().is_empty()).collect();
         let n = lines.len();
-        let mut rows = Vec::with_capacity(n);
+        let mut m = BoolMatrix::zeros(n);
         for (i, line) in lines.iter().enumerate() {
             let line = line.trim();
             let len = line.chars().count();
@@ -492,19 +870,15 @@ impl FromStr for BoolMatrix {
                     expected: n,
                 });
             }
-            let mut row = BitSet::new(n);
             for (j, c) in line.chars().enumerate() {
                 match c {
-                    '1' => {
-                        row.insert(j);
-                    }
+                    '1' => m.set(i, j, true),
                     '0' => {}
                     other => return Err(ParseMatrixError::BadCharacter(other)),
                 }
             }
-            rows.push(row);
         }
-        Ok(BoolMatrix { n, rows })
+        Ok(m)
     }
 }
 
@@ -564,7 +938,18 @@ mod tests {
                     }
                 }
             }
-            assert_eq!(a.compose(&b), naive_compose(&a, &b), "n = {n}");
+            let expected = naive_compose(&a, &b);
+            assert_eq!(a.compose(&b), expected, "n = {n}");
+            // Every explicit kernel agrees with the reference.
+            for path in [
+                ComposePath::Sparse,
+                ComposePath::Tiled,
+                ComposePath::Parallel,
+            ] {
+                let mut out = BoolMatrix::ones(n); // stale contents must be overwritten
+                a.compose_into_with(&b, &mut out, path);
+                assert_eq!(out, expected, "n = {n}, path {path:?}");
+            }
         }
     }
 
@@ -574,6 +959,17 @@ mod tests {
         let b: BoolMatrix = "100\n110\n001".parse().unwrap();
         let c: BoolMatrix = "010\n001\n100".parse().unwrap();
         assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
+    }
+
+    #[test]
+    fn compose_into_reuses_buffer_across_sizes_of_work() {
+        let a = BoolMatrix::from_edges(130, [(0, 1), (1, 129), (129, 64)]);
+        let b = BoolMatrix::identity(130);
+        let mut out = BoolMatrix::zeros(130);
+        a.compose_into(&b, &mut out);
+        assert_eq!(out, a);
+        BoolMatrix::ones(130).compose_into(&a, &mut out);
+        assert_eq!(out.row(0).len(), 3, "every row is the union of a's rows");
     }
 
     #[test]
@@ -594,7 +990,7 @@ mod tests {
         let m: BoolMatrix = "0110\n1010\n0011\n1000".parse().unwrap();
         let t = m.transpose();
         for y in 0..4 {
-            assert_eq!(&m.column(y), t.row(y));
+            assert_eq!(m.column(y), t.row(y));
         }
     }
 
@@ -633,6 +1029,12 @@ mod tests {
         assert!(BoolMatrix::identity(1).is_nonsplit());
         // Identity on ≥2 nodes is split.
         assert!(!BoolMatrix::identity(2).is_nonsplit());
+        // An uncovered node (empty column) splits instantly.
+        let mut uncovered = BoolMatrix::ones(3);
+        for x in 0..3 {
+            uncovered.set(x, 2, false);
+        }
+        assert!(!uncovered.is_nonsplit());
         // Star with loops: center reaches everyone, so any pair shares the
         // center as in-neighbor... but only pairs involving covered columns.
         let mut star = BoolMatrix::identity(5);
@@ -661,6 +1063,58 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn compose_checks_dimensions() {
         let _ = BoolMatrix::identity(3).compose(&BoolMatrix::identity(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "output matrix dimension mismatch")]
+    fn compose_into_checks_output_dimension() {
+        let id = BoolMatrix::identity(3);
+        let mut out = BoolMatrix::zeros(4);
+        id.compose_into(&id.clone(), &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 3 out of range")]
+    fn set_rejects_out_of_range_row() {
+        BoolMatrix::zeros(3).set(3, 0, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "column 3 out of range")]
+    fn set_rejects_out_of_range_column() {
+        BoolMatrix::zeros(3).set(0, 3, true);
+    }
+
+    #[test]
+    fn get_out_of_range_is_false() {
+        let m = BoolMatrix::ones(3);
+        assert!(!m.get(3, 0));
+        assert!(!m.get(0, 3));
+    }
+
+    #[test]
+    fn union_rows_merges_in_place() {
+        let mut m = BoolMatrix::from_edges(70, [(0, 5), (1, 64), (1, 69)]);
+        m.union_rows(0, 1);
+        assert_eq!(m.row(0).iter().collect::<Vec<_>>(), vec![5, 64, 69]);
+        m.union_rows(2, 0);
+        assert_eq!(m.row(2).len(), 3);
+        m.union_rows(1, 1); // self-union is a no-op
+        assert_eq!(m.row(1).len(), 2);
+    }
+
+    #[test]
+    fn flat_layout_invariants() {
+        let m = BoolMatrix::ones(67);
+        assert_eq!(m.words_per_row(), 2);
+        assert_eq!(m.as_words().len(), 67 * 2);
+        for x in 0..67 {
+            assert_eq!(
+                m.as_words()[x * 2 + 1],
+                0b111,
+                "tail bits of row {x} must be masked"
+            );
+        }
     }
 
     #[test]
@@ -702,5 +1156,24 @@ mod tests {
         a.union_with(&b);
         assert!(a.get(0, 1) && a.get(1, 2));
         assert_eq!(a.edge_count(), 2);
+    }
+
+    #[test]
+    fn clone_from_reuses_and_matches() {
+        let a = BoolMatrix::from_edges(5, [(0, 1), (4, 2)]);
+        let mut b = BoolMatrix::ones(5);
+        b.clone_from(&a);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_node_matrix() {
+        let m = BoolMatrix::zeros(0);
+        assert_eq!(m.edge_count(), 0);
+        assert!(m.is_all_ones());
+        assert!(m.is_nonsplit());
+        let mut out = BoolMatrix::zeros(0);
+        m.compose_into(&m.clone(), &mut out);
+        assert_eq!(out.n(), 0);
     }
 }

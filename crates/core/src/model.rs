@@ -21,10 +21,16 @@
 //! which costs `O(n²/64)` machine words per round instead of the `O(n³/64)`
 //! of a full matrix product.
 
-use treecast_bitmatrix::{BitSet, BoolMatrix};
+use treecast_bitmatrix::{BitSet, BoolMatrix, RowRef};
 use treecast_trees::{NodeId, RootedTree};
 
 /// The evolving product graph `G(t)` of a broadcast run, in column view.
+///
+/// The heard-from sets live in one flat [`BoolMatrix`] (row `y` = heard
+/// set of `y`), so cloning a state is a single buffer copy and round
+/// application is pure word-level work. A scratch matrix is kept between
+/// [`BroadcastState::apply_matrix`] calls, making steady-state round
+/// application allocation-free.
 ///
 /// # Examples
 ///
@@ -45,13 +51,47 @@ use treecast_trees::{NodeId, RootedTree};
 /// assert_eq!(rounds, (n - 1) as u64);
 /// assert_eq!(state.broadcast_witness(), Some(0)); // the path's root
 /// ```
-#[derive(Clone, PartialEq, Eq)]
 pub struct BroadcastState {
     n: usize,
     round: u64,
-    /// `heard[y]` = the set of nodes whose information `y` carries.
-    heard: Vec<BitSet>,
+    /// Row `y` = the set of nodes whose information `y` carries.
+    heard: BoolMatrix,
+    /// Reusable double buffer for [`BroadcastState::apply_matrix`]; not
+    /// part of the state's value (ignored by `Eq`, dropped by `Clone`).
+    scratch: Option<BoolMatrix>,
 }
+
+impl Clone for BroadcastState {
+    fn clone(&self) -> Self {
+        BroadcastState {
+            n: self.n,
+            round: self.round,
+            heard: self.heard.clone(),
+            scratch: None,
+        }
+    }
+
+    /// Reuses `self`'s buffers — the beam-search probe path clones
+    /// thousands of states per generation through this.
+    fn clone_from(&mut self, source: &Self) {
+        if self.n != source.n {
+            // A differently sized scratch would poison the next
+            // apply_matrix call; drop it and let it be re-allocated lazily.
+            self.scratch = None;
+        }
+        self.n = source.n;
+        self.round = source.round;
+        self.heard.clone_from(&source.heard);
+    }
+}
+
+impl PartialEq for BroadcastState {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.round == other.round && self.heard == other.heard
+    }
+}
+
+impl Eq for BroadcastState {}
 
 impl BroadcastState {
     /// The initial state `G(0) = I`: every node has heard only from
@@ -65,7 +105,8 @@ impl BroadcastState {
         BroadcastState {
             n,
             round: 0,
-            heard: (0..n).map(|y| BitSet::singleton(n, y)).collect(),
+            heard: BoolMatrix::identity(n),
+            scratch: None,
         }
     }
 
@@ -81,11 +122,11 @@ impl BroadcastState {
             m.is_reflexive(),
             "a product graph of self-looped rounds must be reflexive"
         );
-        let t = m.transpose();
         BroadcastState {
             n: m.n(),
             round,
-            heard: (0..m.n()).map(|y| t.row(y).clone()).collect(),
+            heard: m.transpose(),
+            scratch: None,
         }
     }
 
@@ -101,14 +142,15 @@ impl BroadcastState {
         self.round
     }
 
-    /// The heard-from set of `y`: all `x` with `(x, y) ∈ G(t)`.
+    /// The heard-from set of `y`: all `x` with `(x, y) ∈ G(t)`, as a
+    /// zero-copy view into the state's flat storage.
     ///
     /// # Panics
     ///
     /// Panics if `y >= n`.
     #[inline]
-    pub fn heard_set(&self, y: NodeId) -> &BitSet {
-        &self.heard[y]
+    pub fn heard_set(&self, y: NodeId) -> RowRef<'_> {
+        self.heard.row(y)
     }
 
     /// The reach set of `x`: all `y` with `(x, y) ∈ G(t)` (row `x` of the
@@ -119,42 +161,30 @@ impl BroadcastState {
     /// Panics if `x >= n`.
     pub fn reach_set(&self, x: NodeId) -> BitSet {
         assert!(x < self.n, "node {} out of range for n = {}", x, self.n);
-        let mut reach = BitSet::new(self.n);
-        for (y, h) in self.heard.iter().enumerate() {
-            if h.contains(x) {
-                reach.insert(y);
-            }
-        }
-        reach
+        self.heard.column(x)
     }
 
     /// The size of each node's reach set (row weights of `G(t)`) — the
     /// quantity the paper's matrix analysis tracks round by round.
     pub fn reach_weights(&self) -> Vec<usize> {
-        let mut w = vec![0usize; self.n];
-        for h in &self.heard {
-            for x in h {
-                w[x] += 1;
-            }
-        }
-        w
+        self.heard.col_weights()
     }
 
     /// The size of each node's heard-from set (column weights of `G(t)`).
     pub fn heard_weights(&self) -> Vec<usize> {
-        self.heard.iter().map(BitSet::len).collect()
+        self.heard.row_weights()
     }
 
     /// Total number of edges of `G(t)` (self-loops included).
     pub fn edge_count(&self) -> usize {
-        self.heard.iter().map(BitSet::len).sum()
+        self.heard.edge_count()
     }
 
     /// All broadcast witnesses: nodes `x` present in **every** heard-from
     /// set, i.e. `⋂_y heard[y]`.
     pub fn broadcast_witnesses(&self) -> BitSet {
         let mut acc = BitSet::full(self.n);
-        for h in &self.heard {
+        for h in self.heard.rows() {
             acc.intersect_with(h);
         }
         acc
@@ -165,9 +195,9 @@ impl BroadcastState {
     pub fn broadcast_witness(&self) -> Option<NodeId> {
         // Cheaper than materializing the intersection when far from done:
         // bail at the first empty meet.
-        let mut acc = self.heard[0].clone();
-        for h in &self.heard[1..] {
-            acc.intersect_with(h);
+        let mut acc = self.heard.row(0).to_bitset();
+        for y in 1..self.n {
+            acc.intersect_with(self.heard.row(y));
             if acc.is_empty() {
                 return None;
             }
@@ -178,7 +208,7 @@ impl BroadcastState {
     /// Returns `true` if every node has heard from every node — the gossip
     /// condition (the all-to-all extension of Section 5).
     pub fn is_gossip_complete(&self) -> bool {
-        self.heard.iter().all(BitSet::is_full)
+        self.heard.is_all_ones()
     }
 
     /// Applies one synchronous round along `tree` (with implicit
@@ -201,7 +231,7 @@ impl BroadcastState {
         let order = tree.bfs_order();
         for &y in order.iter().rev() {
             if let Some(p) = tree.parent(y) {
-                union_rows(&mut self.heard, y, p);
+                self.heard.union_rows(y, p);
             }
         }
         self.round += 1;
@@ -212,6 +242,9 @@ impl BroadcastState {
     /// preserve information).
     ///
     /// Used by the nonsplit-graph experiments, where rounds are not trees.
+    /// Double-buffered: the state keeps a scratch matrix between calls, so
+    /// steady-state round application performs no heap allocation (the
+    /// scratch is allocated once, on the first call).
     ///
     /// # Panics
     ///
@@ -224,47 +257,33 @@ impl BroadcastState {
             m.n(),
             self.n
         );
-        let old = std::mem::take(&mut self.heard);
-        let in_neighbors = m.transpose();
-        self.heard = (0..self.n)
-            .map(|y| {
-                let mut acc = BitSet::new(self.n);
-                for z in in_neighbors.row(y) {
-                    acc.union_with(&old[z]);
-                }
-                acc
-            })
-            .collect();
+        let mut next = self
+            .scratch
+            .take()
+            .unwrap_or_else(|| BoolMatrix::zeros(self.n));
+        next.clear();
+        // heard'[y] = ⋃_{z : (z, y) ∈ m} heard[z]; iterating m row-major
+        // visits every edge (z, y) once — no transpose needed.
+        for z in 0..self.n {
+            let carried = self.heard.row(z);
+            for y in m.row(z) {
+                next.row_mut(y).union_with(carried);
+            }
+        }
+        std::mem::swap(&mut self.heard, &mut next);
+        self.scratch = Some(next);
         self.round += 1;
     }
 
     /// The product graph `G(t)` as a matrix (row `x` = reach set of `x`).
     pub fn product_matrix(&self) -> BoolMatrix {
-        let mut m = BoolMatrix::zeros(self.n);
-        for (y, h) in self.heard.iter().enumerate() {
-            for x in h {
-                m.set(x, y, true);
-            }
-        }
-        m
+        self.heard.transpose()
     }
 
     /// The transpose of the product graph (row `y` = heard-from set of
     /// `y`) without recomputation.
     pub fn heard_matrix(&self) -> BoolMatrix {
-        BoolMatrix::from_rows(self.heard.clone())
-    }
-}
-
-/// `heard[dst] ∪= heard[src]` for distinct indices, borrow-safely.
-fn union_rows(heard: &mut [BitSet], dst: usize, src: usize) {
-    debug_assert_ne!(dst, src);
-    if dst < src {
-        let (lo, hi) = heard.split_at_mut(src);
-        lo[dst].union_with(&hi[0]);
-    } else {
-        let (lo, hi) = heard.split_at_mut(dst);
-        hi[0].union_with(&lo[src]);
+        self.heard.clone()
     }
 }
 
@@ -391,13 +410,31 @@ mod tests {
         s.apply(&generators::path(6));
         let product = s.product_matrix();
         for x in 0..6 {
-            assert_eq!(&s.reach_set(x), product.row(x));
+            assert_eq!(s.reach_set(x), product.row(x));
         }
         assert_eq!(s.heard_matrix(), product.transpose());
         let rw = s.reach_weights();
         let pw = product.row_weights();
         assert_eq!(rw, pw);
         assert_eq!(s.heard_weights(), product.col_weights());
+    }
+
+    #[test]
+    fn clone_from_across_sizes_resets_scratch() {
+        // A stale scratch from a differently sized state must not poison
+        // the next apply_matrix call.
+        let mut s = BroadcastState::new(8);
+        s.apply_matrix(&BoolMatrix::identity(8)); // allocates an 8-node scratch
+        s.clone_from(&BroadcastState::new(4));
+        s.apply_matrix(&BoolMatrix::identity(4));
+        assert_eq!(s.n(), 4);
+        assert_eq!(s.edge_count(), 4);
+        // Same-size clone_from keeps the scratch and stays correct.
+        let mut t = BroadcastState::new(4);
+        t.apply_matrix(&BoolMatrix::identity(4));
+        t.clone_from(&s);
+        t.apply_matrix(&BoolMatrix::ones(4));
+        assert!(t.is_gossip_complete());
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Proves the zero-allocation contract of the flat-bitmatrix hot paths:
+//! steady-state `BoolMatrix::compose_into` and
+//! `BroadcastState::apply_matrix` perform no heap allocation per call.
+//!
+//! A counting wrapper around the system allocator tallies every
+//! allocation; the file contains exactly one `#[test]` so no concurrent
+//! test can pollute the counter while the measured window is open.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use treecast_bitmatrix::{BoolMatrix, ComposePath};
+use treecast_core::BroadcastState;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+// Safety: delegates everything to `System`; the counter is a relaxed
+// atomic with no further invariants.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_compose_and_apply_matrix_do_not_allocate() {
+    let n = 257; // straddles a word boundary, stride 5 → 4-word + 1-word tiles
+    let mut rng_state = 0x5EEDu64;
+    let mut next = move || {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state
+    };
+    let mut a = BoolMatrix::identity(n);
+    let mut b = BoolMatrix::identity(n);
+    for x in 0..n {
+        for y in 0..n {
+            if next() % 10 == 0 {
+                a.set(x, y, true);
+            }
+            if next() % 10 == 0 {
+                b.set(x, y, true);
+            }
+        }
+    }
+    let mut out = BoolMatrix::zeros(n);
+    let sparse = BoolMatrix::from_edges(n, (1..n).map(|y| (y - 1, y)));
+
+    // compose_into with a caller-provided buffer: zero allocations on any
+    // serial kernel path, from the very first call. The harness's own
+    // threads may allocate concurrently, so measure several windows and
+    // require a clean one: a genuine per-call allocation would taint
+    // every window with at least 40 counts.
+    let clean_compose_window = (0..5)
+        .map(|_| {
+            let before = allocations();
+            for _ in 0..10 {
+                a.compose_into(&b, &mut out); // auto (tiled here: a is dense)
+                sparse.compose_into(&b, &mut out); // auto -> sparse fast path
+                a.compose_into_with(&b, &mut out, ComposePath::Sparse);
+                a.compose_into_with(&b, &mut out, ComposePath::Tiled);
+            }
+            allocations() - before
+        })
+        .min()
+        .expect("five windows measured");
+    assert_eq!(
+        clean_compose_window, 0,
+        "compose_into must not allocate — buffers are caller-provided"
+    );
+
+    // apply_matrix: the first call allocates the scratch double-buffer,
+    // every later call reuses it. `b` is reflexive, so it is a legitimate
+    // information-preserving round.
+    let round = &b;
+    let mut state = BroadcastState::new(n);
+    state.apply_matrix(round); // warm-up: scratch buffer is created here
+    let clean_apply_window = (0..5)
+        .map(|_| {
+            let before = allocations();
+            for _ in 0..10 {
+                state.apply_matrix(round);
+            }
+            allocations() - before
+        })
+        .min()
+        .expect("five windows measured");
+    assert_eq!(
+        clean_apply_window, 0,
+        "steady-state apply_matrix must reuse its scratch buffer"
+    );
+
+    // Keep the results observable so the loops cannot be optimized away.
+    assert!(out.edge_count() > 0);
+    assert!(state.edge_count() > 0);
+}

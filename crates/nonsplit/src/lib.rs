@@ -43,9 +43,13 @@ pub fn product_of(trees: &[RootedTree]) -> BoolMatrix {
         !trees.is_empty(),
         "product of an empty sequence is undefined"
     );
+    // Ping-pong two buffers through the allocation-free kernel: the only
+    // per-round allocation left is the tree's own matrix.
     let mut acc = trees[0].to_matrix(true);
+    let mut scratch = BoolMatrix::zeros(acc.n());
     for t in &trees[1..] {
-        acc = acc.compose(&t.to_matrix(true));
+        acc.compose_into(&t.to_matrix(true), &mut scratch);
+        std::mem::swap(&mut acc, &mut scratch);
     }
     acc
 }
@@ -232,9 +236,12 @@ impl MatrixSource for GreedyNonsplit {
     fn next_matrix<R: Rng + ?Sized>(&mut self, state: &BroadcastState, rng: &mut R) -> BoolMatrix {
         let n = state.n();
         let mut best: Option<(usize, BoolMatrix)> = None;
+        // One probe state reused across the pool: `clone_from` recycles its
+        // flat buffers instead of reallocating per candidate.
+        let mut after = state.clone();
         for _ in 0..self.pool.max(1) {
             let candidate = generators::pairwise_min(n, rng);
-            let mut after = state.clone();
+            after.clone_from(state);
             after.apply_matrix(&candidate);
             let max_reach = after.reach_weights().into_iter().max().unwrap_or(0);
             if best.as_ref().map(|(b, _)| max_reach < *b).unwrap_or(true) {
