@@ -39,6 +39,21 @@ step "compose bench gate (fails on >25% regression at n = 1024)"
 cargo run --release -p treecast-bench --bin bench_compose -- \
     --check results/BENCH_compose_baseline.json
 
+step "solver bench gate (quick sizes, fails on >25% regression at n = 6)"
+# Re-solves n = 2..=6 with the layered engine, writes
+# results/BENCH_solver.json and gates both wall time (n = 6, skippable
+# via TREECAST_BENCH_GATE=off) and exact t* values (always enforced)
+# against the checked-in baseline.
+cargo run --release -p treecast-bench --bin bench_solver -- \
+    --quick --check results/BENCH_solver_baseline.json
+
+step "release-tier slow solver tests (--ignored)"
+# Brute-force cross-check at n = 5, old-recursive vs layered agreement at
+# n = 6, and the deepest-chain small-stack run — too slow for the debug
+# tier. The n = 7 frontier test stays opt-in via TREECAST_N7=1 (a long
+# release-mode run; see results/BENCH_solver.json for its recorded data).
+cargo test -q --release -p treecast-solver -- --ignored
+
 step "cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 

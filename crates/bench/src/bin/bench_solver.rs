@@ -1,0 +1,151 @@
+//! Exact-solver measurement harness: runs the layered solver over the
+//! sizes the exact frontier covers and emits `results/BENCH_solver.json`
+//! with `t*`, explored states, transitions and wall time per size.
+//!
+//! ```text
+//! cargo run --release -p treecast-bench --bin bench_solver                # n = 2..=7
+//! cargo run --release -p treecast-bench --bin bench_solver -- --quick     # n = 2..=6
+//! cargo run --release -p treecast-bench --bin bench_solver -- --quick \
+//!     --check results/BENCH_solver_baseline.json   # CI regression gate
+//! ```
+//!
+//! With `--check <baseline>` the run exits nonzero if the gated solve
+//! (`n = 6`) is more than 25% slower than the checked-in baseline, or if
+//! any `t*` disagrees with the baseline — a correctness gate riding along
+//! with the perf gate. `TREECAST_BENCH_GATE=off` skips the timing
+//! comparison (underpowered or heavily loaded hosts); `t*` equality is
+//! always enforced.
+
+use std::time::Instant;
+
+use treecast_bench::solverbench::{
+    parse_solver_field, render_solver_report, SolverMeasurement, SOLVER_GATE_N,
+    SOLVER_REGRESSION_HEADROOM_PERCENT,
+};
+use treecast_core::bounds;
+use treecast_solver::{solve_with, SolveOptions};
+
+fn measure(n: usize, threads: usize) -> SolverMeasurement {
+    // Small sizes are noisy: repeat and keep the fastest run (background
+    // load only ever slows a run down, so the minimum is the stable
+    // statistic — same reasoning as the compose gate).
+    let repeats = match n {
+        0..=4 => 20,
+        5 => 5,
+        6 => 2,
+        _ => 1,
+    };
+    let options = SolveOptions {
+        skip_schedule: true,
+        threads,
+        ..Default::default()
+    };
+    let mut best_ms = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..repeats {
+        let started = Instant::now();
+        let r = solve_with(n, options).expect("sizes within the exact frontier solve");
+        best_ms = best_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        result = Some(r);
+    }
+    let r = result.expect("at least one repeat");
+    assert!(
+        bounds::sandwich_holds(n as u64, r.t_star),
+        "t*({n}) = {} violates the Theorem 3.1 sandwich",
+        r.t_star
+    );
+    SolverMeasurement {
+        n,
+        t_star: r.t_star,
+        states: r.stats.states_explored,
+        transitions: r.stats.transitions,
+        wall_ms: best_ms,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check_baseline = args.iter().position(|a| a == "--check").map(|i| {
+        args.get(i + 1)
+            .expect("--check needs a baseline path")
+            .clone()
+    });
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .expect("--threads needs a number")
+        })
+        .unwrap_or(0);
+
+    let max_n = if quick { 6 } else { 7 };
+    let mut rows = Vec::new();
+    for n in 2..=max_n {
+        let m = measure(n, threads);
+        println!(
+            "solve/{n}: t* = {}  states = {}  transitions = {}  wall = {:.1} ms",
+            m.t_star, m.states, m.transitions, m.wall_ms
+        );
+        rows.push(m);
+    }
+
+    let report = render_solver_report(threads, &rows);
+    let out_path = std::path::Path::new("results/BENCH_solver.json");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(out_path, &report).expect("write BENCH_solver.json");
+    println!("wrote {}", out_path.display());
+
+    let Some(baseline_path) = check_baseline else {
+        return;
+    };
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+
+    // Correctness gate first: every size present in both reports must have
+    // the same exact t* — a wrong optimum is never acceptable.
+    let mut compared = 0usize;
+    for m in &rows {
+        if let Some(base_t) = parse_solver_field(&baseline, m.n, "t_star") {
+            assert!(
+                (base_t - m.t_star as f64).abs() < 0.5,
+                "t*({}) changed: measured {}, baseline {base_t}",
+                m.n,
+                m.t_star
+            );
+            compared += 1;
+        }
+    }
+    assert!(
+        compared > 0,
+        "baseline {baseline_path} has no t_star entries for any measured size — \
+         format drift would make this gate vacuous"
+    );
+    println!("gate ok: t* values match the baseline ({compared} sizes)");
+
+    if std::env::var("TREECAST_BENCH_GATE").as_deref() == Ok("off") {
+        println!("TREECAST_BENCH_GATE=off: skipping wall-time regression gate");
+        return;
+    }
+    let base_ms = parse_solver_field(&baseline, SOLVER_GATE_N, "wall_ms")
+        .unwrap_or_else(|| panic!("baseline {baseline_path} has no n = {SOLVER_GATE_N} entry"));
+    let now_ms = rows
+        .iter()
+        .find(|r| r.n == SOLVER_GATE_N)
+        .expect("gate size measured")
+        .wall_ms;
+    let limit = base_ms * (100.0 + f64::from(SOLVER_REGRESSION_HEADROOM_PERCENT)) / 100.0;
+    if now_ms > limit {
+        eprintln!(
+            "REGRESSION: solve/{SOLVER_GATE_N} took {now_ms:.1} ms, baseline {base_ms:.1} ms \
+             (+{SOLVER_REGRESSION_HEADROOM_PERCENT}% limit {limit:.1} ms)"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "gate ok: solve/{SOLVER_GATE_N} {now_ms:.1} ms within \
+         +{SOLVER_REGRESSION_HEADROOM_PERCENT}% of baseline {base_ms:.1} ms"
+    );
+}

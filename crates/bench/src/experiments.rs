@@ -394,7 +394,10 @@ pub fn fnw(quick: bool) -> ExperimentOutput {
 /// E7 (exact values): the solver's t*(T_n), tightness of the ZSS bound.
 pub fn exact(quick: bool) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("exact", "Exact t*(T_n) by state-space search");
-    let max_n = if quick { 5 } else { 6 };
+    // Full mode pushes to the current exact frontier, n = 7 (~2 h of
+    // single-core release-mode compute for the layered solver, 44.7M
+    // orbit states; the old recursive search never reached it).
+    let max_n = if quick { 5 } else { 7 };
     let mut t = Table::new([
         "n",
         "t* exact",
@@ -420,6 +423,13 @@ pub fn exact(quick: bool) -> ExperimentOutput {
             r.stats.transitions.to_string(),
             format!("{secs:.2}"),
         ]);
+        // Cross-check against the recorded exact frontier.
+        if let Some(known) = bounds::known_t_star(nu) {
+            assert_eq!(
+                r.t_star, known,
+                "t* drifted from the recorded value at n = {n}"
+            );
+        }
         // End-to-end: the optimal schedule replays to t*.
         let replayed = treecast_solver::verify_schedule(n, &r.schedule);
         assert_eq!(replayed, r.t_star, "schedule replay mismatch at n = {n}");

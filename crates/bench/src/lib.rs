@@ -10,6 +10,7 @@
 
 pub mod composebench;
 pub mod experiments;
+pub mod solverbench;
 
 use std::fmt::Display;
 use std::path::Path;

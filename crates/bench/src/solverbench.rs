@@ -1,0 +1,149 @@
+//! Shared pieces of the exact-solver benchmark report: the measurement
+//! record, hand-rolled JSON rendering (no serde in the offline build),
+//! and the minimal parser the CI regression gate needs — the solver
+//! sibling of [`crate::composebench`].
+
+use treecast_core::bounds;
+
+/// Allowed slowdown of the gated solve against the checked-in baseline
+/// before `bench_solver --check` fails, in percent.
+pub const SOLVER_REGRESSION_HEADROOM_PERCENT: u32 = 25;
+
+/// The size whose wall time the CI gate compares (largest quick size —
+/// big enough to be stable, small enough for every CI run).
+pub const SOLVER_GATE_N: usize = 6;
+
+/// One `(n, result, timing)` row of the solver benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverMeasurement {
+    /// Number of processes.
+    pub n: usize,
+    /// The exact `t*(T_n)` the solve produced.
+    pub t_star: u64,
+    /// Distinct canonical states explored.
+    pub states: usize,
+    /// Raw successor evaluations (realizable vectors emitted, pre
+    /// cross-root dedup).
+    pub transitions: u64,
+    /// Best (minimum) wall time of one full solve, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Renders the measurement rows as the `BENCH_solver.json` document.
+///
+/// Line-oriented like the compose report (one `"key": value` pair per
+/// line) so [`parse_solver_field`] can read it back without a JSON
+/// dependency.
+pub fn render_solver_report(threads: usize, rows: &[SolverMeasurement]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"solver_exact\",\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"n\": {},\n", r.n));
+        out.push_str(&format!("      \"t_star\": {},\n", r.t_star));
+        out.push_str(&format!("      \"lower_bound\": {},\n", lower(r.n)));
+        out.push_str(&format!("      \"upper_bound\": {},\n", upper(r.n)));
+        out.push_str(&format!("      \"states\": {},\n", r.states));
+        out.push_str(&format!("      \"transitions\": {},\n", r.transitions));
+        out.push_str(&format!("      \"wall_ms\": {:.3}\n", r.wall_ms));
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn lower(n: usize) -> u64 {
+    bounds::lower_bound(n as u64)
+}
+
+fn upper(n: usize) -> u64 {
+    bounds::upper_bound(n as u64)
+}
+
+/// Extracts one numeric field from the entry for size `n` in a
+/// [`render_solver_report`]-formatted document.
+///
+/// Scans for the `"n": <n>` line and then for `"<field>"` within that
+/// entry — enough structure for the CI gate without a JSON parser.
+pub fn parse_solver_field(report: &str, n: usize, field: &str) -> Option<f64> {
+    let mut lines = report.lines();
+    let wanted = format!("\"n\": {n},");
+    let prefix = format!("\"{field}\": ");
+    for line in lines.by_ref() {
+        if line.trim() == wanted {
+            break;
+        }
+    }
+    for line in lines {
+        let t = line.trim();
+        if t.starts_with('}') {
+            return None;
+        }
+        if let Some(value) = t.strip_prefix(&prefix) {
+            return value.trim_end_matches(',').parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<SolverMeasurement> {
+        vec![
+            SolverMeasurement {
+                n: 5,
+                t_star: 5,
+                states: 817,
+                transitions: 8161,
+                wall_ms: 3.5,
+            },
+            SolverMeasurement {
+                n: 6,
+                t_star: 7,
+                states: 112_620,
+                transitions: 5_535_810,
+                wall_ms: 2040.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn report_roundtrips_through_parser() {
+        let doc = render_solver_report(1, &rows());
+        assert_eq!(parse_solver_field(&doc, 5, "wall_ms"), Some(3.5));
+        assert_eq!(parse_solver_field(&doc, 6, "wall_ms"), Some(2040.0));
+        assert_eq!(parse_solver_field(&doc, 6, "t_star"), Some(7.0));
+        assert_eq!(parse_solver_field(&doc, 6, "states"), Some(112_620.0));
+        assert_eq!(parse_solver_field(&doc, 7, "wall_ms"), None);
+        assert_eq!(parse_solver_field(&doc, 5, "no_such_field"), None);
+    }
+
+    #[test]
+    fn report_is_json_shaped() {
+        let doc = render_solver_report(4, &rows());
+        assert!(doc.starts_with("{\n"));
+        assert!(doc.ends_with("}\n"));
+        assert!(doc.contains("\"threads\": 4"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert!(!doc.contains(",\n  ]"));
+        assert!(!doc.contains(",\n    }"));
+    }
+
+    #[test]
+    fn report_embeds_the_theorem_bounds() {
+        let doc = render_solver_report(1, &rows());
+        assert_eq!(parse_solver_field(&doc, 6, "lower_bound"), Some(7.0));
+        assert_eq!(
+            parse_solver_field(&doc, 6, "upper_bound"),
+            Some(treecast_core::bounds::upper_bound(6) as f64)
+        );
+    }
+}

@@ -147,6 +147,35 @@ pub fn sandwich_holds(n: u64, t: u64) -> bool {
     lower_bound(n) <= t && t <= upper_bound(n)
 }
 
+/// The exact `t*(T_n)` values established by the `treecast-solver` crate's
+/// layered search (experiment E7), where the solver has reached; `None`
+/// beyond the exact frontier.
+///
+/// Every known value coincides with [`lower_bound`] — the experimental
+/// evidence that the ZSS lower bound is tight and the open gap of
+/// Theorem 3.1 sits entirely on the upper side.
+///
+/// # Examples
+///
+/// ```
+/// use treecast_core::bounds::{known_t_star, lower_bound};
+/// assert_eq!(known_t_star(6), Some(7));
+/// assert_eq!(known_t_star(7), Some(lower_bound(7)));
+/// assert_eq!(known_t_star(8), None);
+/// ```
+pub fn known_t_star(n: u64) -> Option<u64> {
+    match n {
+        1 => Some(0),
+        2 => Some(1),
+        3 => Some(2),
+        4 => Some(4),
+        5 => Some(5),
+        6 => Some(7),
+        7 => Some(8),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +281,20 @@ mod tests {
             assert!(v > prev);
             prev = v;
         }
+    }
+
+    #[test]
+    fn known_exact_values_sit_on_the_lower_bound() {
+        let mut solved = 0;
+        for n in 1..=16u64 {
+            if let Some(t) = known_t_star(n) {
+                assert_eq!(t, lower_bound(n), "n = {n}");
+                assert!(sandwich_holds(n, t), "n = {n}");
+                solved += 1;
+            }
+        }
+        assert_eq!(solved, 7, "exact frontier is n = 7");
+        assert_eq!(known_t_star(0), None);
     }
 
     #[test]

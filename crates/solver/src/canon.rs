@@ -10,7 +10,7 @@
 //! permutation set to the automorphism-ish classes, over which we take an
 //! exact minimum.
 
-use crate::state::row_mask;
+use crate::state::state_rows;
 
 /// Canonicalization policy for the solver's memo table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -40,95 +40,138 @@ pub fn canonicalize(state: u64, n: usize, mode: CanonMode) -> u64 {
         CanonMode::None => state,
         CanonMode::Fast => {
             let sigs = signatures(state, n);
-            let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by_key(|&v| sigs[v]);
+            let order = sig_order(&sigs, n);
             // perm maps old node -> new position.
-            let mut perm = vec![0usize; n];
-            for (pos, &v) in order.iter().enumerate() {
-                perm[v] = pos;
+            let mut perm = [0u8; 8];
+            for (pos, &v) in order[..n].iter().enumerate() {
+                perm[v as usize] = pos as u8;
             }
-            permute(state, n, &perm)
+            permute_packed(state, n, &perm)
         }
         CanonMode::Exact => {
             let sigs = signatures(state, n);
-            // Group nodes into classes of equal signature, classes ordered
-            // by signature value.
-            let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by_key(|&v| sigs[v]);
-            let mut classes: Vec<Vec<usize>> = Vec::new();
-            for &v in &order {
-                match classes.last_mut() {
-                    Some(last) if sigs[*last.first().expect("nonempty")] == sigs[v] => last.push(v),
-                    _ => classes.push(vec![v]),
+            let order = sig_order(&sigs, n);
+            // Class boundaries over the sorted order: `class_end[i]` is
+            // one past the last member of the class starting at i (only
+            // meaningful at class starts).
+            let mut asn = ClassAssign {
+                state,
+                n,
+                order,
+                class_end: [0; 8],
+                perm: [0; 8],
+                best: u64::MAX,
+            };
+            let mut start = 0;
+            while start < n {
+                let mut end = start + 1;
+                while end < n && sigs[order[end] as usize] == sigs[order[start] as usize] {
+                    end += 1;
                 }
+                asn.class_end[start] = end as u8;
+                start = end;
             }
-            let mut best = u64::MAX;
-            let mut perm = vec![0usize; n];
-            assign_classes(state, n, &classes, 0, 0, &mut perm, &mut best);
-            best
+            asn.assign(0);
+            asn.best
         }
     }
 }
 
-/// Recursively assigns positions to each signature class in every order,
-/// tracking the minimum permuted state.
-fn assign_classes(
+/// Scratch for the exact-mode minimum over class-respecting permutations —
+/// everything lives in fixed arrays, the solver calls this hundreds of
+/// millions of times.
+struct ClassAssign {
     state: u64,
     n: usize,
-    classes: &[Vec<usize>],
-    class_idx: usize,
-    next_pos: usize,
-    perm: &mut Vec<usize>,
-    best: &mut u64,
-) {
-    if class_idx == classes.len() {
-        let candidate = permute(state, n, perm);
-        if candidate < *best {
-            *best = candidate;
-        }
-        return;
-    }
-    let members = &classes[class_idx];
-    let k = members.len();
-    let mut idx: Vec<usize> = (0..k).collect();
-    // Heap's algorithm over the members of this class.
-    let mut c = vec![0usize; k];
-    let emit = |idx: &[usize], perm: &mut Vec<usize>, best: &mut u64| {
-        for (offset, &i) in idx.iter().enumerate() {
-            perm[members[i]] = next_pos + offset;
-        }
-        assign_classes(state, n, classes, class_idx + 1, next_pos + k, perm, best);
-    };
-    emit(&idx, perm, best);
-    let mut i = 0;
-    while i < k {
-        if c[i] < i {
-            if i % 2 == 0 {
-                idx.swap(0, i);
-            } else {
-                idx.swap(c[i], i);
+    /// Nodes sorted by signature.
+    order: [u8; 8],
+    /// One-past-the-end of the class starting at each class start.
+    class_end: [u8; 8],
+    /// old node -> new position, filled class by class.
+    perm: [u8; 8],
+    best: u64,
+}
+
+impl ClassAssign {
+    /// Assigns positions to the class starting at `start` in every order
+    /// (Heap's algorithm), recursing into the next class.
+    fn assign(&mut self, start: usize) {
+        if start == self.n {
+            let candidate = permute_packed(self.state, self.n, &self.perm);
+            if candidate < self.best {
+                self.best = candidate;
             }
-            emit(&idx, perm, best);
-            c[i] += 1;
-            i = 0;
-        } else {
-            c[i] = 0;
-            i += 1;
+            return;
+        }
+        let end = self.class_end[start] as usize;
+        let k = end - start;
+        let mut members = [0u8; 8];
+        members[..k].copy_from_slice(&self.order[start..end]);
+        let mut c = [0usize; 8];
+        let emit = |m: &[u8], this: &mut Self| {
+            for (offset, &v) in m[..k].iter().enumerate() {
+                this.perm[v as usize] = (start + offset) as u8;
+            }
+            this.assign(end);
+        };
+        emit(&members, self);
+        let mut i = 0;
+        while i < k {
+            if c[i] < i {
+                if i % 2 == 0 {
+                    members.swap(0, i);
+                } else {
+                    members.swap(c[i], i);
+                }
+                emit(&members, self);
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
         }
     }
+}
+
+/// Node indices `0..n` sorted by signature (insertion sort, `n ≤ 8`).
+#[inline]
+fn sig_order(sigs: &[u64; 8], n: usize) -> [u8; 8] {
+    let mut order = [0u8; 8];
+    for (v, slot) in order.iter_mut().enumerate().take(n) {
+        *slot = v as u8;
+    }
+    for i in 1..n {
+        let mut j = i;
+        while j > 0 && sigs[order[j - 1] as usize] > sigs[order[j] as usize] {
+            order.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+    order
 }
 
 /// Applies the relabeling `perm` (old node `v` becomes `perm[v]`) to a
 /// packed column-view state.
 pub fn permute(state: u64, n: usize, perm: &[usize]) -> u64 {
     debug_assert_eq!(perm.len(), n);
+    let mut packed = [0u8; 8];
+    for (v, &p) in perm.iter().enumerate() {
+        packed[v] = p as u8;
+    }
+    permute_packed(state, n, &packed)
+}
+
+/// Allocation-free core of [`permute`].
+#[inline]
+fn permute_packed(state: u64, n: usize, perm: &[u8; 8]) -> u64 {
     let mut out = 0u64;
     let mut bits = state;
     while bits != 0 {
         let idx = bits.trailing_zeros() as usize;
         bits &= bits - 1;
         let (y, x) = (idx / n, idx % n);
-        out |= 1u64 << (perm[y] * n + perm[x]);
+        out |= 1u64 << (perm[y] as usize * n + perm[x] as usize);
     }
     out
 }
@@ -136,13 +179,11 @@ pub fn permute(state: u64, n: usize, perm: &[usize]) -> u64 {
 /// Per-node isomorphism-invariant signatures: heard-weight, reach-weight,
 /// and a hash of the sorted heard-neighborhood weight profile (one
 /// Weisfeiler–Leman refinement round).
-fn signatures(state: u64, n: usize) -> Vec<u64> {
-    let mask = row_mask(n);
+fn signatures(state: u64, n: usize) -> [u64; 8] {
+    let rows = state_rows(state, n);
     let mut heard_w = [0u64; 8];
     let mut reach_w = [0u64; 8];
-    for y in 0..n {
-        let row = (state >> (y * n)) & mask;
-        heard_w[y] = row.count_ones() as u64;
+    for &row in rows.iter().take(n) {
         let mut bits = row;
         while bits != 0 {
             let x = bits.trailing_zeros() as usize;
@@ -150,30 +191,33 @@ fn signatures(state: u64, n: usize) -> Vec<u64> {
             reach_w[x] += 1;
         }
     }
-    (0..n)
-        .map(|y| {
-            let row = (state >> (y * n)) & mask;
-            // Multiset of (heard, reach) pairs of the nodes y has heard
-            // from, order-independent via a commutative fold of per-element
-            // hashes.
-            let mut acc: u64 = 0;
-            let mut bits = row;
-            while bits != 0 {
-                let x = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let h = mix(heard_w[x] << 32 | reach_w[x]);
-                acc = acc.wrapping_add(h);
-            }
-            // Lexicographically dominant: own weights first.
-            mix(heard_w[y] << 48 | reach_w[y] << 32).wrapping_add(acc)
-        })
-        .collect()
+    for y in 0..n {
+        heard_w[y] = u64::from(rows[y].count_ones());
+    }
+    let mut sigs = [0u64; 8];
+    for (y, sig) in sigs.iter_mut().enumerate().take(n) {
+        // Multiset of (heard, reach) pairs of the nodes y has heard
+        // from, order-independent via a commutative fold of per-element
+        // hashes.
+        let mut acc: u64 = 0;
+        let mut bits = rows[y];
+        while bits != 0 {
+            let x = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let h = mix(heard_w[x] << 32 | reach_w[x]);
+            acc = acc.wrapping_add(h);
+        }
+        // Lexicographically dominant: own weights first.
+        *sig = mix(heard_w[y] << 48 | reach_w[y] << 32).wrapping_add(acc);
+    }
+    sigs
 }
 
 /// A fixed 64-bit mixer (splitmix64 finalizer) — deterministic across runs
-/// and platforms, which the canonical form requires.
+/// and platforms, which the canonical form requires. Also the hash of the
+/// solver's open-addressing state table.
 #[inline]
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -2,12 +2,17 @@
 //!
 //! The paper proves `⌈(3n−1)/2⌉ − 2 ≤ t*(T_n) ≤ ⌈(1+√2)n − 1⌉` but computes
 //! no exact values; this crate closes that loop experimentally by solving
-//! the adversary's optimization exactly for small sizes (in practice
-//! `n ≤ 6` in seconds, `n = 7` with patience — see the bench crate):
+//! the adversary's optimization exactly for small sizes (`n ≤ 6` in
+//! seconds, `n = 7` in about two hours on one release-mode core — see the
+//! bench crate):
 //!
-//! * [`solve`] / [`solve_with`] — memoized longest-path search over packed
-//!   product-graph states with isomorphism reduction ([`CanonMode`]) and
-//!   dominance pruning.
+//! * [`solve`] / [`solve_with`] — iterative layered search over the
+//!   edge-count-graded state DAG: thread-sharded forward discovery
+//!   followed by backward value propagation, with isomorphism reduction
+//!   ([`CanonMode`]) and dominance pruning.
+//! * [`SuccessorGen`] — the expansion primitive: streams the distinct
+//!   ⊆-minimal successors of a state with an early witness cut, in time
+//!   proportional to the successors rather than the `n^(n−1)` trees.
 //! * [`SolveResult`] carries an optimal adversary tree sequence, which
 //!   [`verify_schedule`] replays through the public simulation engine as an
 //!   end-to-end consistency check.
@@ -36,7 +41,7 @@ mod search;
 pub mod state;
 
 pub use canon::{canonicalize, permute, CanonMode};
-pub use pool::TreePool;
+pub use pool::{GenStats, Successor, SuccessorGen, TreePool};
 pub use search::{
     solve, solve_with, verify_schedule, SolveError, SolveOptions, SolveResult, SolveStats,
 };

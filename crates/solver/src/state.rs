@@ -72,6 +72,17 @@ pub fn edge_count(state: u64) -> u32 {
     state.count_ones()
 }
 
+/// Unpacks the `n` heard-rows of a packed state (rows `n..8` are zero).
+#[inline]
+pub fn state_rows(state: u64, n: usize) -> [u64; 8] {
+    let mask = row_mask(n);
+    let mut rows = [0u64; 8];
+    for (y, row) in rows.iter_mut().enumerate().take(n) {
+        *row = (state >> (y * n)) & mask;
+    }
+    rows
+}
+
 /// Converts a packed column-view state into a [`BroadcastState`] at the
 /// given round (for interop with the simulation engine).
 pub fn to_broadcast_state(state: u64, n: usize, round: u64) -> BroadcastState {
@@ -155,6 +166,26 @@ mod tests {
             s = apply_tree(s, n, &edges);
         }
         assert!(has_witness(s, n));
+    }
+
+    #[test]
+    fn state_rows_roundtrip() {
+        for n in 1..=8 {
+            let s = identity_state(n);
+            let rows = state_rows(s, n);
+            for (y, &row) in rows.iter().enumerate() {
+                if y < n {
+                    assert_eq!(row, 1 << y, "n = {n}, row {y}");
+                } else {
+                    assert_eq!(row, 0);
+                }
+            }
+            let repacked = rows
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (y, &row)| acc | (row << (y * n)));
+            assert_eq!(repacked, s);
+        }
     }
 
     #[test]

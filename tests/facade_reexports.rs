@@ -55,11 +55,17 @@ fn solver_reexports_resolve() {
         SolveOptions {
             canon: CanonMode::Exact,
             skip_schedule: true,
+            threads: 1,
             ..Default::default()
         },
     )
     .expect("n = 3 solves");
     assert!(result.t_star >= 2);
+    assert_eq!(Some(result.t_star), bounds::known_t_star(3));
+    // The layered engine's expansion primitive is part of the surface.
+    let mut gen = treecast::solver::SuccessorGen::new(3);
+    let succs = gen.minimal_successors(treecast::solver::state::identity_state(3));
+    assert!(!succs.is_empty());
 }
 
 #[test]
