@@ -1,60 +1,116 @@
 #!/usr/bin/env bash
-# The tier-1 gate for the treecast workspace. Run from the repo root.
+# The tiered CI gate for the treecast workspace. Run from the repo root.
 #
-#   ./ci.sh          # fmt check, release build, tests, bench smoke, docs
-#   ./ci.sh --fix    # same, but apply rustfmt instead of failing on drift
+#   ./ci.sh [quick|full|release] [--fix]
 #
-# Everything runs offline: the rand/proptest/criterion dependencies are
-# vendored path crates (see vendor/).
-set -euo pipefail
+#   quick    fmt check, release build, tests, bench smoke, docs
+#            (skips the bench regression gates and the --ignored tier)
+#   full     quick + the compose/solver/workloads bench gates (default)
+#   release  full + the slow --ignored solver tier
+#   --fix    apply rustfmt instead of failing on drift
+#
+# Every step runs even after a failure: one CI run reports all breakage,
+# prints a per-step wall-time summary, and exits nonzero listing every
+# failed step. Everything runs offline: the rand/proptest/criterion
+# dependencies are vendored path crates (see vendor/).
+# TREECAST_BENCH_GATE=off skips the *timing* halves of the bench gates
+# (exact t*/round-count halves are always enforced).
+set -uo pipefail
 cd "$(dirname "$0")"
 
+TIER=full
 FMT_MODE=--check
-if [[ "${1:-}" == "--fix" ]]; then
-    FMT_MODE=""
-fi
-
-step() { printf '\n== %s ==\n' "$*"; }
-
-step "cargo fmt ${FMT_MODE:-(fix)}"
-# shellcheck disable=SC2086 # intentional word splitting of the flag
-cargo fmt $FMT_MODE
-for shim in vendor/rand vendor/proptest vendor/criterion; do
-    (cd "$shim" && cargo fmt $FMT_MODE)
+for arg in "$@"; do
+    case "$arg" in
+        quick|full|release) TIER=$arg ;;
+        --fix) FMT_MODE="" ;;
+        *)
+            echo "usage: ./ci.sh [quick|full|release] [--fix]" >&2
+            exit 2
+            ;;
+    esac
 done
 
-step "cargo build --release"
-cargo build --release
+STEP_NAMES=()
+STEP_SECS=()
+STEP_RESULTS=()
+FAILED=()
 
-step "cargo test -q"
-cargo test -q
+# run_step <name> <command...> — runs the command, records wall time and
+# pass/fail, and keeps going on failure.
+run_step() {
+    local name="$1"
+    shift
+    printf '\n== %s ==\n' "$name"
+    local start
+    start=$(date +%s)
+    local result=ok
+    if ! "$@"; then
+        result=FAIL
+        FAILED+=("$name")
+    fi
+    STEP_NAMES+=("$name")
+    STEP_SECS+=($(($(date +%s) - start)))
+    STEP_RESULTS+=("$result")
+}
 
-step "cargo test -q --benches (criterion smoke mode)"
-cargo test -q -p treecast-bench --benches
+step_fmt() {
+    # shellcheck disable=SC2086 # intentional word splitting of the flag
+    cargo fmt $FMT_MODE || return 1
+    local shim
+    for shim in vendor/rand vendor/proptest vendor/criterion; do
+        # shellcheck disable=SC2086
+        (cd "$shim" && cargo fmt $FMT_MODE) || return 1
+    done
+}
 
-step "compose bench gate (fails on >25% regression at n = 1024)"
-# Re-measures the compose kernel, writes results/BENCH_compose.json and
-# compares against the checked-in baseline. TREECAST_BENCH_GATE=off skips
-# the comparison (underpowered or heavily loaded hosts).
-cargo run --release -p treecast-bench --bin bench_compose -- \
-    --check results/BENCH_compose_baseline.json
+step_docs() {
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+}
 
-step "solver bench gate (quick sizes, fails on >25% regression at n = 6)"
-# Re-solves n = 2..=6 with the layered engine, writes
-# results/BENCH_solver.json and gates both wall time (n = 6, skippable
-# via TREECAST_BENCH_GATE=off) and exact t* values (always enforced)
-# against the checked-in baseline.
-cargo run --release -p treecast-bench --bin bench_solver -- \
-    --quick --check results/BENCH_solver_baseline.json
+run_step "cargo fmt ${FMT_MODE:-(fix)}" step_fmt
+run_step "cargo build --release" cargo build --release
+run_step "cargo test -q" cargo test -q
+run_step "bench smoke (criterion test mode)" cargo test -q -p treecast-bench --benches
 
-step "release-tier slow solver tests (--ignored)"
-# Brute-force cross-check at n = 5, old-recursive vs layered agreement at
-# n = 6, and the deepest-chain small-stack run — too slow for the debug
-# tier. The n = 7 frontier test stays opt-in via TREECAST_N7=1 (a long
-# release-mode run; see results/BENCH_solver.json for its recorded data).
-cargo test -q --release -p treecast-solver -- --ignored
+if [[ "$TIER" != quick ]]; then
+    # Each gate re-measures, writes results/BENCH_<x>.json and compares
+    # against the checked-in baseline: wall times at +25%, exact values
+    # (solver t*, workload round counts) with zero tolerance.
+    run_step "compose bench gate (n = 1024, +25%)" \
+        cargo run --release -p treecast-bench --bin bench_compose -- \
+        --check results/BENCH_compose_baseline.json
+    run_step "solver bench gate (quick sizes, exact t* + n = 6 wall)" \
+        cargo run --release -p treecast-bench --bin bench_solver -- \
+        --quick --check results/BENCH_solver_baseline.json
+    run_step "workloads bench gate (exact rounds + tracked-step wall)" \
+        cargo run --release -p treecast-bench --bin bench_workloads -- \
+        --check results/BENCH_workloads_baseline.json
+fi
 
-step "cargo doc --no-deps (warnings are errors)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+if [[ "$TIER" == release ]]; then
+    # Brute-force cross-check at n = 5, old-recursive vs layered agreement
+    # at n = 6, and the deepest-chain small-stack run — too slow for the
+    # debug tier. The n = 7 frontier test stays opt-in via TREECAST_N7=1.
+    run_step "release-tier slow solver tests (--ignored)" \
+        cargo test -q --release -p treecast-solver -- --ignored
+fi
 
-printf '\nci.sh: all green\n'
+run_step "cargo doc --no-deps (warnings are errors)" step_docs
+
+printf '\n== ci.sh %s tier summary ==\n' "$TIER"
+printf '%-55s %8s  %s\n' step seconds result
+printf '%s\n' "-------------------------------------------------------------------------"
+total=0
+for i in "${!STEP_NAMES[@]}"; do
+    printf '%-55s %8s  %s\n' "${STEP_NAMES[$i]}" "${STEP_SECS[$i]}" "${STEP_RESULTS[$i]}"
+    total=$((total + STEP_SECS[i]))
+done
+printf '%-55s %8s\n' total "$total"
+
+if ((${#FAILED[@]} > 0)); then
+    printf '\nci.sh: %d step(s) FAILED:\n' "${#FAILED[@]}"
+    printf '  - %s\n' "${FAILED[@]}"
+    exit 1
+fi
+printf '\nci.sh: all green (%s tier)\n' "$TIER"

@@ -51,7 +51,9 @@ pub use candidates::{
     CandidateGen, CompositePool, ExactInnerPool, ExactLeafPool, ExhaustivePool, JitteredPool,
     SampledPool, StructuredPool,
 };
-pub use objectives::{MinMaxReach, MinNearWinners, MinNewEdges, MinSumReach, Objective};
+pub use objectives::{
+    MinDisseminated, MinMaxReach, MinNearWinners, MinNewEdges, MinSumReach, Objective,
+};
 pub use strategies::{
     FamilyRandomAdversary, FreezeLeaderAdversary, GreedyAdversary, LookaheadAdversary,
     UniformRandomAdversary,

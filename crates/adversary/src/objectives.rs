@@ -109,6 +109,54 @@ impl Objective for MinNearWinners {
     }
 }
 
+/// Delays the *variant* workloads (`k`-broadcast, gossip): minimizes the
+/// number of disseminated tokens the round would leave (nodes whose reach
+/// set hits `n`), then near-disseminated tokens (within `slack` of `n`),
+/// then max reach, then total growth.
+///
+/// This is [`MinNearWinners`] lifted to the workload lattice: where the
+/// broadcast adversary only has to keep the *first* token from fully
+/// spreading, the `k`-broadcast/gossip adversary must hold the whole
+/// frontier back — so fully disseminated tokens (which are sunk cost for
+/// the variants) dominate the score. Greedy search under this objective
+/// routinely finds the nested-heard-set stalls that make worst-case
+/// `k ≥ 2` runs diverge (`bounds::tree_k_broadcast_diverges`).
+#[derive(Debug, Clone, Copy)]
+pub struct MinDisseminated {
+    /// A token counts as "near disseminated" when its holder count is at
+    /// least `n − slack`.
+    pub slack: usize,
+}
+
+impl Default for MinDisseminated {
+    fn default() -> Self {
+        MinDisseminated { slack: 2 }
+    }
+}
+
+impl Objective for MinDisseminated {
+    fn score(&self, state: &BroadcastState, tree: &RootedTree) -> u64 {
+        let n = state.n();
+        let near_threshold = n.saturating_sub(self.slack);
+        let after = reach_weights_after(state, tree);
+        let full = after.iter().filter(|&&w| w >= n).count() as u64;
+        let near = after.iter().filter(|&&w| w >= near_threshold).count() as u64;
+        let max = after.iter().copied().max().unwrap_or(0) as u64;
+        let sum: u64 = after.iter().map(|&w| w as u64).sum();
+        // Lexicographic (full, near, max, sum) packed into one u64 with
+        // saturating 12/12/20/20-bit fields. The leading three fields are
+        // exact for n ≤ 4095; the last-resort sum tie-break (bounded by
+        // n²) is exact for n ≤ 1023 and saturates gracefully beyond —
+        // every search grid in the workspace sits well inside both.
+        let sat = |v: u64, bits: u32| v.min((1u64 << bits) - 1);
+        (sat(full, 12) << 52) | (sat(near, 12) << 40) | (sat(max, 20) << 20) | sat(sum, 20)
+    }
+
+    fn name(&self) -> &'static str {
+        "min-disseminated"
+    }
+}
+
 /// The reach-weight vector after hypothetically playing `tree`, computed
 /// without cloning the whole state: node `x` is gained by `y` iff
 /// `x ∈ heard[parent(y)] \ heard[y]`.
@@ -226,8 +274,42 @@ mod tests {
             MinMaxReach.name(),
             MinSumReach.name(),
             MinNearWinners::default().name(),
+            MinDisseminated::default().name(),
         ];
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn min_disseminated_counts_full_tokens() {
+        let n = 4;
+        // After one path round every token is held by at most two nodes: a
+        // second path round disseminates nothing, while a star centered on
+        // the root floods token 0 to everyone.
+        let state = state_after(&[generators::path(n)], n);
+        let path = MinDisseminated::default().score(&state, &generators::path(n));
+        let star = MinDisseminated::default().score(&state, &generators::star(n));
+        assert_eq!(path >> 52, 0, "path round must not disseminate a token");
+        assert!(star >> 52 >= 1, "star must disseminate the center's token");
+        assert!(path < star, "the adversary prefers the stall");
+    }
+
+    #[test]
+    fn min_disseminated_finds_the_static_path_stall() {
+        use crate::candidates::StructuredPool;
+        use crate::strategies::GreedyAdversary;
+        use treecast_core::{run_workload, KBroadcast, SimulationConfig, WorkloadOutcome};
+        // The greedy searcher under this objective must hold a 2-broadcast
+        // run at one disseminated token for the whole capped horizon.
+        let n = 8;
+        let mut adv = GreedyAdversary::new(StructuredPool::new(), MinDisseminated::default());
+        let report = run_workload(
+            n,
+            &mut adv,
+            &KBroadcast::new(2),
+            SimulationConfig::for_n(n).with_max_rounds(6 * n as u64),
+        );
+        assert_eq!(report.outcome, WorkloadOutcome::RoundLimit);
+        assert_eq!(report.disseminated, 1, "{report:?}");
     }
 }

@@ -1,0 +1,165 @@
+//! Workload-engine measurement harness: runs the deterministic
+//! `(workload × adversary × n)` grid, times the batched `TrackedTokens`
+//! stepping hot path, and emits `results/BENCH_workloads.json`.
+//!
+//! ```text
+//! cargo run --release -p treecast-bench --bin bench_workloads
+//! cargo run --release -p treecast-bench --bin bench_workloads -- \
+//!     --check results/BENCH_workloads_baseline.json   # CI gate
+//! ```
+//!
+//! With `--check <baseline>` the run exits nonzero if (a) any grid cell's
+//! round count differs from the baseline — a correctness gate that is
+//! never skipped — or (b) the tracked stepping is more than 25% slower
+//! (skippable via `TREECAST_BENCH_GATE=off` for unsuitable hosts).
+
+use std::time::Instant;
+
+use treecast_bench::workloadbench::{
+    measure_rounds, parse_ns_per_round, parse_rounds, render_report, TrackedStepMeasurement,
+    REGRESSION_HEADROOM_PERCENT,
+};
+use treecast_core::TrackedTokens;
+use treecast_trees::generators;
+
+/// Tracked-stepping workload shape: `STEP_K` holder rows at `STEP_N`
+/// nodes, pre-warmed to the dense steady state where the tiled kernel
+/// carries the round.
+const STEP_N: usize = 1024;
+const STEP_K: usize = 8;
+
+/// Best (minimum) batch-mean ns per call of `f` — the same anti-noise
+/// statistic as `bench_compose`.
+fn best_ns<F: FnMut()>(mut f: F, samples: usize) -> f64 {
+    let start = Instant::now();
+    let mut calls = 0u32;
+    while calls == 0 || start.elapsed().as_millis() < 50 {
+        f();
+        calls += 1;
+        if calls >= 1000 {
+            break;
+        }
+    }
+    let per_call = (start.elapsed().as_nanos() / u128::from(calls)).max(1);
+    let batch = (1_000_000 / per_call).clamp(1, 10_000) as u32;
+
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / f64::from(batch));
+    }
+    best
+}
+
+fn measure_tracked_step() -> TrackedStepMeasurement {
+    let sources: Vec<usize> = (0..STEP_K).map(|i| i * STEP_N / STEP_K).collect();
+    let mut state = TrackedTokens::new(STEP_N, &sources);
+    // Warm into the dense regime: a few caterpillar rounds spread every
+    // token across most of the graph, after which each round is a dense
+    // k-row block through the tiled kernel (the steady state a long
+    // dissemination run spends nearly all its time in).
+    let warm = generators::caterpillar(STEP_N, 8);
+    for _ in 0..4 {
+        state.apply(&warm);
+    }
+    let round = generators::caterpillar(STEP_N, 16);
+    let ns_per_round = best_ns(|| state.apply(&round), 30);
+    TrackedStepMeasurement {
+        n: STEP_N,
+        k: STEP_K,
+        ns_per_round,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_baseline = args.iter().position(|a| a == "--check").map(|i| {
+        args.get(i + 1)
+            .expect("--check needs a baseline path")
+            .clone()
+    });
+
+    println!("running the deterministic workload grid...");
+    let rounds = measure_rounds();
+    for r in &rounds {
+        println!(
+            "  {:<22} {:<24} n={:<3} rounds={}",
+            r.workload,
+            r.adversary,
+            r.n,
+            r.rounds
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| ">cap".into())
+        );
+    }
+
+    let step = measure_tracked_step();
+    println!(
+        "tracked_step n={} k={}: {:.0} ns/round",
+        step.n, step.k, step.ns_per_round
+    );
+
+    let report = render_report(&rounds, &step);
+    let out_path = std::path::Path::new("results/BENCH_workloads.json");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(out_path, &report).expect("write BENCH_workloads.json");
+    println!("wrote {}", out_path.display());
+
+    let Some(baseline_path) = check_baseline else {
+        return;
+    };
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+
+    // Half 1: exact round counts, never skipped.
+    let current = parse_rounds(&report);
+    let mut failures = 0usize;
+    for (key, base_rounds) in parse_rounds(&baseline) {
+        match current.iter().find(|(k, _)| *k == key) {
+            Some((_, now)) if *now == base_rounds => {}
+            Some((_, now)) => {
+                eprintln!(
+                    "ROUND MISMATCH: {key:?} measured {now}, baseline {base_rounds} \
+                     (exact gate, no tolerance)"
+                );
+                failures += 1;
+            }
+            None => {
+                eprintln!("ROUND MISSING: baseline cell {key:?} not measured");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!(
+        "gate ok: all {} round counts match the baseline exactly",
+        current.len()
+    );
+
+    // Half 2: wall time, +25%, skippable.
+    if std::env::var("TREECAST_BENCH_GATE").as_deref() == Ok("off") {
+        println!("TREECAST_BENCH_GATE=off: skipping the wall-time gate");
+        return;
+    }
+    let base_ns = parse_ns_per_round(&baseline)
+        .unwrap_or_else(|| panic!("baseline {baseline_path} has no tracked_step entry"));
+    let limit = base_ns * (100.0 + f64::from(REGRESSION_HEADROOM_PERCENT)) / 100.0;
+    if step.ns_per_round > limit {
+        eprintln!(
+            "REGRESSION: tracked_step took {:.0} ns/round, baseline {base_ns:.0} ns/round \
+             (+{REGRESSION_HEADROOM_PERCENT}% limit {limit:.0})",
+            step.ns_per_round
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "gate ok: tracked_step {:.0} ns/round within +{REGRESSION_HEADROOM_PERCENT}% of \
+         baseline {base_ns:.0} ns/round",
+        step.ns_per_round
+    );
+}

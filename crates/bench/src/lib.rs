@@ -11,6 +11,7 @@
 pub mod composebench;
 pub mod experiments;
 pub mod solverbench;
+pub mod workloadbench;
 
 use std::fmt::Display;
 use std::path::Path;

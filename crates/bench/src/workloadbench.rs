@@ -1,0 +1,305 @@
+//! Shared pieces of the workload benchmark report (`bench_workloads`):
+//! the deterministic round-count grid, the batched-stepping wall-time
+//! measurement record, hand-rolled JSON rendering (no serde in the
+//! offline build), and the minimal parser the CI gate needs.
+//!
+//! The gate has two halves, mirroring the solver gate:
+//!
+//! * **round counts** — every `(workload, adversary, n)` cell is a
+//!   deterministic simulation, so the recorded value is exact and any
+//!   drift against `results/BENCH_workloads_baseline.json` is a
+//!   correctness failure that is *never* skipped;
+//! * **wall time** — the `TrackedTokens` batched stepping throughput
+//!   (`BoolMatrix::compose_prefix_into` hot path) is gated at +25%,
+//!   skippable via `TREECAST_BENCH_GATE=off`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use treecast_adversary::{GreedyAdversary, MinDisseminated, StructuredPool};
+use treecast_core::{
+    run_workload, Broadcast, Gossip, KBroadcast, KSourceBroadcast, SimulationConfig, StaticSource,
+    TreeSource, Workload,
+};
+use treecast_nonsplit::{workload_time_nonsplit, PiecewiseNonsplit};
+use treecast_trees::generators;
+
+/// Allowed slowdown of the tracked-stepping wall time against the
+/// checked-in baseline before `bench_workloads --check` fails, in percent.
+pub const REGRESSION_HEADROOM_PERCENT: u32 = 25;
+
+/// The deterministic round-count grid: network sizes.
+pub const GRID_NS: [usize; 3] = [16, 32, 64];
+
+/// One deterministic cell of the workload grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadRound {
+    /// Workload name (`broadcast`, `k-broadcast(k=2)`, `gossip`, …).
+    pub workload: String,
+    /// Adversary name.
+    pub adversary: String,
+    /// Network size.
+    pub n: usize,
+    /// Completion round, or `None` when the capped run did not complete
+    /// (rendered as `-1`; the expected worst-case outcome for `k ≥ 2`
+    /// under tree adversaries).
+    pub rounds: Option<u64>,
+}
+
+/// The wall-time half of the report: batched `TrackedTokens` stepping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackedStepMeasurement {
+    /// Network size.
+    pub n: usize,
+    /// Tracked tokens (holder rows composed per round).
+    pub k: usize,
+    /// Best (minimum) ~1 ms-batch mean wall time of one round, ns.
+    pub ns_per_round: f64,
+}
+
+/// The workloads of the deterministic grid at size `n`, in report order.
+pub fn grid_workloads(n: usize) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Broadcast),
+        Box::new(KBroadcast::new(2)),
+        Box::new(KBroadcast::new((n / 2).max(2))),
+        Box::new(Gossip),
+    ]
+}
+
+/// The deterministic grid adversaries, in report order.
+///
+/// Both are allocation-light and fully deterministic: the static path is
+/// the explicit diverging witness for `k ≥ 2`, and greedy descent under
+/// [`MinDisseminated`] is the worst-case-searched sequence the `variants`
+/// experiment also uses.
+pub const GRID_ADVERSARIES: [&str; 2] = ["static-path", "greedy-min-disseminated"];
+
+/// Builds one grid adversary by name.
+///
+/// # Panics
+///
+/// Panics on a name outside [`GRID_ADVERSARIES`].
+pub fn grid_adversary(n: usize, name: &str) -> Box<dyn TreeSource + Send> {
+    match name {
+        "static-path" => Box::new(StaticSource::new(generators::path(n))),
+        "greedy-min-disseminated" => Box::new(GreedyAdversary::new(
+            StructuredPool::new(),
+            MinDisseminated::default(),
+        )),
+        other => panic!("unknown grid adversary {other:?}"),
+    }
+}
+
+/// Runs the full deterministic grid.
+pub fn measure_rounds() -> Vec<WorkloadRound> {
+    let mut rows = Vec::new();
+    for &n in &GRID_NS {
+        for adv_name in GRID_ADVERSARIES {
+            for workload in grid_workloads(n) {
+                // Fresh adversary per cell, so no run sees another's state.
+                let mut source = grid_adversary(n, adv_name);
+                let report = run_workload(
+                    n,
+                    source.as_mut(),
+                    workload.as_ref(),
+                    SimulationConfig::for_n(n),
+                );
+                rows.push(WorkloadRound {
+                    workload: workload.name(),
+                    adversary: adv_name.to_string(),
+                    n,
+                    rounds: report.completion_time,
+                });
+            }
+        }
+        // Seeded c-nonsplit cells: finite, nontrivial, and exactly
+        // reproducible round counts — the sharp half of the exact gate
+        // (the tree cells are either n − 1 or the consistent >cap).
+        for c in [2usize, 8] {
+            let variant_workloads: Vec<Box<dyn Workload>> = vec![
+                Box::new(KBroadcast::new(n / 2)),
+                Box::new(Gossip),
+                Box::new(KSourceBroadcast::evenly_spread(n, 2)),
+            ];
+            for workload in variant_workloads {
+                let mut rng = StdRng::seed_from_u64(0xBE_EF);
+                let t = workload_time_nonsplit(
+                    n,
+                    workload.as_ref(),
+                    &mut PiecewiseNonsplit::new(c),
+                    1_000,
+                    &mut rng,
+                );
+                rows.push(WorkloadRound {
+                    workload: workload.name(),
+                    adversary: format!("piecewise(c={c}, seed=0xBEEF)"),
+                    n,
+                    rounds: t,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the two measurement halves as the `BENCH_workloads.json`
+/// document (line-oriented so [`parse_rounds`] / [`parse_ns_per_round`]
+/// can read it back without a JSON dependency).
+pub fn render_report(rounds: &[WorkloadRound], step: &TrackedStepMeasurement) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"workloads\",\n");
+    out.push_str("  \"rounds\": [\n");
+    for (i, r) in rounds.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"workload\": \"{}\",\n", r.workload));
+        out.push_str(&format!("      \"adversary\": \"{}\",\n", r.adversary));
+        out.push_str(&format!("      \"n\": {},\n", r.n));
+        out.push_str(&format!(
+            "      \"rounds\": {}\n",
+            r.rounds.map(|t| t as i64).unwrap_or(-1)
+        ));
+        out.push_str(if i + 1 == rounds.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"tracked_step\": {\n");
+    out.push_str(&format!("    \"n\": {},\n", step.n));
+    out.push_str(&format!("    \"k\": {},\n", step.k));
+    out.push_str(&format!("    \"ns_per_round\": {:.1}\n", step.ns_per_round));
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Extracts every round-count cell from a [`render_report`] document as
+/// `((workload, adversary, n), rounds)` tuples (`-1` = did not complete).
+pub fn parse_rounds(report: &str) -> Vec<((String, String, usize), i64)> {
+    let mut out = Vec::new();
+    let mut lines = report.lines();
+    while let Some(line) = lines.next() {
+        let Some(workload) = field_str(line, "workload") else {
+            continue;
+        };
+        let adversary = lines.next().and_then(|l| field_str(l, "adversary"));
+        let n = lines.next().and_then(|l| field_num(l, "n"));
+        let rounds = lines.next().and_then(|l| field_num(l, "rounds"));
+        if let (Some(adversary), Some(n), Some(rounds)) = (adversary, n, rounds) {
+            out.push(((workload, adversary, n as usize), rounds));
+        }
+    }
+    out
+}
+
+/// Extracts the tracked-stepping `ns_per_round` from a [`render_report`]
+/// document.
+pub fn parse_ns_per_round(report: &str) -> Option<f64> {
+    report.lines().find_map(|line| {
+        line.trim()
+            .strip_prefix("\"ns_per_round\": ")
+            .and_then(|v| v.trim_end_matches(',').parse().ok())
+    })
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    line.trim()
+        .strip_prefix(&format!("\"{key}\": \""))
+        .map(|rest| {
+            rest.trim_end_matches("\",")
+                .trim_end_matches('"')
+                .to_string()
+        })
+}
+
+fn field_num(line: &str, key: &str) -> Option<i64> {
+    line.trim()
+        .strip_prefix(&format!("\"{key}\": "))
+        .and_then(|v| v.trim_end_matches(',').parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Vec<WorkloadRound>, TrackedStepMeasurement) {
+        (
+            vec![
+                WorkloadRound {
+                    workload: "broadcast".into(),
+                    adversary: "static-path".into(),
+                    n: 16,
+                    rounds: Some(15),
+                },
+                WorkloadRound {
+                    workload: "gossip".into(),
+                    adversary: "static-path".into(),
+                    n: 16,
+                    rounds: None,
+                },
+            ],
+            TrackedStepMeasurement {
+                n: 1024,
+                k: 8,
+                ns_per_round: 1234.5,
+            },
+        )
+    }
+
+    #[test]
+    fn report_roundtrips_through_parser() {
+        let (rounds, step) = sample();
+        let doc = render_report(&rounds, &step);
+        let parsed = parse_rounds(&doc);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(
+            parsed[0],
+            (("broadcast".into(), "static-path".into(), 16), 15)
+        );
+        assert_eq!(parsed[1].1, -1, "capped runs render as -1");
+        assert_eq!(parse_ns_per_round(&doc), Some(1234.5));
+    }
+
+    #[test]
+    fn report_is_json_shaped() {
+        let (rounds, step) = sample();
+        let doc = render_report(&rounds, &step);
+        assert!(doc.starts_with("{\n"));
+        assert!(doc.ends_with("}\n"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert!(!doc.contains(",\n  ]"));
+        assert!(!doc.contains(",\n    }"));
+    }
+
+    #[test]
+    fn grid_is_deterministic() {
+        // Two measurements of one cell must agree exactly — this is what
+        // lets ci.sh enforce round counts with zero tolerance.
+        let n = 16;
+        let run = || {
+            let mut source = grid_adversary(n, "greedy-min-disseminated");
+            run_workload(
+                n,
+                source.as_mut(),
+                &KBroadcast::new(2),
+                SimulationConfig::for_n(n),
+            )
+            .completion_time
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn grid_covers_the_workload_lattice() {
+        let names: Vec<String> = grid_workloads(16).iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "broadcast",
+                "k-broadcast(k=2)",
+                "k-broadcast(k=8)",
+                "gossip"
+            ]
+        );
+    }
+}

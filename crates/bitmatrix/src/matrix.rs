@@ -401,6 +401,57 @@ impl BoolMatrix {
         self.compose_into_with(other, out, ComposePath::Auto);
     }
 
+    /// Batched multi-row product: computes rows `0..rows` of
+    /// `self ∘ other` into the same rows of `out`, zeroing the rest.
+    ///
+    /// This is the round-application kernel for token-subset workloads
+    /// (`treecast-core`'s `TrackedTokens`): a `k`-broadcast run keeps one
+    /// holder row per token, so each round is a `k × n` row block composed
+    /// with the round's `n × n` matrix — `k/n`-th of the work of a full
+    /// product, running on the same sparse/tiled kernels as
+    /// [`BoolMatrix::compose_into`] (tiled once the block densifies, which
+    /// is the steady state of a dissemination run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions of `self`, `other` and `out` differ, or if
+    /// `rows > n`.
+    pub fn compose_prefix_into(&self, rows: usize, other: &BoolMatrix, out: &mut BoolMatrix) {
+        assert_eq!(
+            self.n, other.n,
+            "matrix dimension mismatch: {} vs {}",
+            self.n, other.n
+        );
+        assert_eq!(
+            self.n, out.n,
+            "output matrix dimension mismatch: {} vs {}",
+            out.n, self.n
+        );
+        assert!(
+            rows <= self.n,
+            "row block {} out of range for n = {}",
+            rows,
+            self.n
+        );
+        out.clear();
+        if self.n == 0 || rows == 0 {
+            return;
+        }
+        let block = &mut out.words[..rows * self.stride];
+        // Density heuristic over the block only: a thin block of sparse
+        // holder rows (early rounds) rides the sparse kernel, a saturated
+        // one the tiled kernel.
+        let block_edges: usize = self.words[..rows * self.stride]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        if block_edges <= 2 * self.n {
+            compose_rows_sparse(self, other, 0, block);
+        } else {
+            compose_rows_tiled(self, other, 0, block);
+        }
+    }
+
     /// [`BoolMatrix::compose_into`] with an explicit kernel choice.
     ///
     /// All paths produce identical results; see [`ComposePath`] for when
@@ -616,6 +667,63 @@ impl BoolMatrix {
         true
     }
 
+    /// Returns `true` if the graph is *c-nonsplit*: every set of `c`
+    /// distinct nodes has a common in-neighbor. `c = 2` is the classic
+    /// nonsplit property ([`BoolMatrix::is_nonsplit`]); larger `c` is a
+    /// strictly stronger constraint on the adversary (a `c`-subset's
+    /// common in-neighbor also serves every sub-pair), so `c`-nonsplit
+    /// round sequences disseminate at least as fast as nonsplit ones.
+    ///
+    /// Equivalent formulation used here: the graph is `c`-nonsplit iff no
+    /// `c`-subset *hits* (intersects) every out-neighborhood complement
+    /// `[n] \ out(z)` — i.e. the minimum hitting set of those complements
+    /// is larger than `c`. The search deduplicates and drops superset
+    /// complements, then branches on the smallest unhit complement with
+    /// depth cap `c`, which is fast on the structured round graphs the
+    /// experiments play (a full row makes every `c` succeed instantly).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use treecast_bitmatrix::BoolMatrix;
+    /// // A hub pointing at everyone serves every subset size.
+    /// let mut hub = BoolMatrix::identity(5);
+    /// for y in 0..5 {
+    ///     hub.set(0, y, true);
+    /// }
+    /// assert!(hub.is_c_nonsplit(2));
+    /// assert!(hub.is_c_nonsplit(5));
+    /// // The identity is not even 2-nonsplit.
+    /// assert!(!BoolMatrix::identity(3).is_c_nonsplit(2));
+    /// ```
+    pub fn is_c_nonsplit(&self, c: usize) -> bool {
+        if c == 0 || c > self.n {
+            // No c-subsets of distinct nodes exist: vacuously true.
+            return true;
+        }
+        // Complements of the out-neighborhoods; an empty complement is a
+        // full row, whose owner is a common in-neighbor of every subset.
+        let mut complements: Vec<BitSet> = Vec::with_capacity(self.n);
+        for z in 0..self.n {
+            let mut comp = BitSet::full(self.n);
+            comp.difference_with(self.row(z));
+            if comp.is_empty() {
+                return true;
+            }
+            complements.push(comp);
+        }
+        // Drop duplicates and supersets: hitting a subset forces hitting
+        // every superset.
+        complements.sort_by_key(|s| s.len());
+        let mut minimal: Vec<BitSet> = Vec::new();
+        for comp in complements {
+            if !minimal.iter().any(|kept| kept.is_subset(&comp)) {
+                minimal.push(comp);
+            }
+        }
+        !hitting_set_within(&minimal, &mut BitSet::new(self.n), c)
+    }
+
     /// Applies the node relabeling `perm` (a bijection on `[n]`), returning
     /// the matrix `P` with `P[perm[x]][perm[y]] = self[x][y]`.
     ///
@@ -643,6 +751,35 @@ impl BoolMatrix {
         }
         out
     }
+}
+
+/// Returns `true` if some set of at most `budget` nodes intersects every
+/// set in `sets`. `chosen` is the partial hitting set under construction
+/// (borrowed as scratch; restored before returning).
+///
+/// Branches on the elements of the smallest unhit set — every hitting set
+/// must contain one of them — so the recursion depth is at most `budget`
+/// and the branching factor is bounded by the smallest complement.
+fn hitting_set_within(sets: &[BitSet], chosen: &mut BitSet, budget: usize) -> bool {
+    let unhit = sets
+        .iter()
+        .filter(|s| s.is_disjoint(&*chosen))
+        .min_by_key(|s| s.len());
+    let Some(target) = unhit else {
+        return true; // everything already hit
+    };
+    if budget == 0 {
+        return false;
+    }
+    for v in target.iter() {
+        chosen.insert(v);
+        if hitting_set_within(sets, chosen, budget - 1) {
+            chosen.remove(v);
+            return true;
+        }
+        chosen.remove(v);
+    }
+    false
 }
 
 /// The number of hardware threads, 1 if unknown.
@@ -1042,6 +1179,181 @@ mod tests {
             star.set(0, leaf, true);
         }
         assert!(star.is_nonsplit());
+    }
+
+    #[test]
+    fn compose_prefix_matches_full_product() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [1usize, 5, 64, 65, 130] {
+            let mut a = BoolMatrix::zeros(n);
+            let mut b = BoolMatrix::zeros(n);
+            for x in 0..n {
+                for y in 0..n {
+                    if next() % 4 == 0 {
+                        a.set(x, y, true);
+                    }
+                    if next() % 4 == 0 {
+                        b.set(x, y, true);
+                    }
+                }
+            }
+            let full = a.compose(&b);
+            for rows in [0usize, 1, 2, n / 2, n].into_iter().filter(|&r| r <= n) {
+                let mut out = BoolMatrix::ones(n); // stale bits must vanish
+                a.compose_prefix_into(rows, &b, &mut out);
+                for x in 0..n {
+                    let expected = if x < rows {
+                        full.row(x).to_bitset()
+                    } else {
+                        BitSet::new(n)
+                    };
+                    assert_eq!(
+                        out.row(x).to_bitset(),
+                        expected,
+                        "n = {n}, rows = {rows}, row {x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compose_prefix_picks_both_kernels() {
+        // A thin sparse block and a dense one must agree with the full
+        // product regardless of which kernel the density heuristic picks.
+        let n = 80;
+        let mut sparse = BoolMatrix::identity(n);
+        sparse.set(0, 7, true);
+        let dense = BoolMatrix::ones(n);
+        let b = BoolMatrix::from_edges(n, (0..n - 1).map(|i| (i, i + 1)));
+        for a in [&sparse, &dense] {
+            let mut out = BoolMatrix::zeros(n);
+            a.compose_prefix_into(3, &b, &mut out);
+            let full = a.compose(&b);
+            for x in 0..3 {
+                assert_eq!(out.row(x).to_bitset(), full.row(x).to_bitset());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row block 4 out of range")]
+    fn compose_prefix_rejects_oversized_block() {
+        let id = BoolMatrix::identity(3);
+        let mut out = BoolMatrix::zeros(3);
+        id.compose_prefix_into(4, &id.clone(), &mut out);
+    }
+
+    #[test]
+    fn c_nonsplit_agrees_with_pairwise_at_2() {
+        let mut state = 0xDEAD_BEEF_CAFE_F00Du64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [1usize, 2, 3, 6, 17] {
+            for _ in 0..20 {
+                let mut m = BoolMatrix::identity(n);
+                for x in 0..n {
+                    for y in 0..n {
+                        if next() % 3 == 0 {
+                            m.set(x, y, true);
+                        }
+                    }
+                }
+                assert_eq!(m.is_c_nonsplit(2), m.is_nonsplit(), "n = {n}\n{m}");
+            }
+        }
+    }
+
+    #[test]
+    fn c_nonsplit_monotone_in_c() {
+        // c-nonsplit implies c'-nonsplit for every c' ≤ c: a full-subset
+        // witness also covers all its subsets.
+        let mut hub = BoolMatrix::identity(6);
+        for y in 0..6 {
+            hub.set(2, y, true);
+        }
+        for c in 0..=7 {
+            assert!(hub.is_c_nonsplit(c), "hub graph must be {c}-nonsplit");
+        }
+        // Three almost-full hubs, hub i missing only node 3 + i: every
+        // pair avoids one of the three holes (2-nonsplit), but the
+        // transversal triple {3, 4, 5} hits all of them (not 3-nonsplit).
+        let mut hubs = BoolMatrix::identity(6);
+        for i in 0..3 {
+            for y in 0..6 {
+                if y != 3 + i {
+                    hubs.set(i, y, true);
+                }
+            }
+        }
+        assert!(hubs.is_c_nonsplit(2));
+        assert!(!hubs.is_c_nonsplit(3), "{hubs}");
+    }
+
+    #[test]
+    fn c_nonsplit_brute_force_cross_check() {
+        // Exhaustive c-subset check against the hitting-set formulation.
+        let mut state = 0x1234_5678_9ABC_DEFFu64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let n = 7;
+        for _ in 0..15 {
+            let mut m = BoolMatrix::identity(n);
+            for x in 0..n {
+                for y in 0..n {
+                    if next() % 3 == 0 {
+                        m.set(x, y, true);
+                    }
+                }
+            }
+            let t = m.transpose();
+            for c in 2..=4usize {
+                let mut brute = true;
+                let mut subset = vec![0usize; c];
+                // Enumerate all c-subsets of 0..n.
+                fn rec(
+                    t: &BoolMatrix,
+                    subset: &mut Vec<usize>,
+                    depth: usize,
+                    start: usize,
+                    ok: &mut bool,
+                ) {
+                    if depth == subset.len() {
+                        let mut acc = t.row(subset[0]).to_bitset();
+                        for &y in &subset[1..] {
+                            acc.intersect_with(t.row(y));
+                        }
+                        if acc.is_empty() {
+                            *ok = false;
+                        }
+                        return;
+                    }
+                    for y in start..t.n() {
+                        if !*ok {
+                            return;
+                        }
+                        subset[depth] = y;
+                        rec(t, subset, depth + 1, y + 1, ok);
+                    }
+                }
+                rec(&t, &mut subset, 0, 0, &mut brute);
+                assert_eq!(m.is_c_nonsplit(c), brute, "c = {c}\n{m}");
+            }
+        }
     }
 
     #[test]

@@ -140,6 +140,53 @@ pub fn fnw_reference(n: u64, c: f64) -> f64 {
     2.0 * n as f64 * loglog + c * n as f64
 }
 
+/// Lower bound on the `k`-broadcast time under the rooted-tree adversary
+/// (the companion paper's variant, formalized here as "`k` distinct nodes
+/// have each completed a broadcast"; `k = 1` is Definition 2.2).
+///
+/// Requiring `k` disseminated tokens subsumes requiring one, so the ZSS
+/// broadcast lower bound applies verbatim for every `k ≥ 1` — and by
+/// [`tree_k_broadcast_diverges`] no *finite* worst-case upper bound exists
+/// once `k ≥ 2`, so the interesting half of the companion sandwich lives
+/// on restricted (`c`-nonsplit) adversaries.
+///
+/// # Examples
+///
+/// ```
+/// use treecast_core::bounds::{k_broadcast_lower, lower_bound};
+/// assert_eq!(k_broadcast_lower(10, 1), lower_bound(10));
+/// assert_eq!(k_broadcast_lower(10, 5), lower_bound(10));
+/// ```
+pub fn k_broadcast_lower(n: u64, k: u64) -> u64 {
+    if k == 0 {
+        return 0;
+    }
+    lower_bound(n)
+}
+
+/// Returns `true` if the worst-case `k`-broadcast time under the
+/// **unrestricted** rooted-tree adversary is infinite.
+///
+/// For `k ≥ 2` (hence also gossip, the `k = n` case) the static path is an
+/// explicit diverging witness: after `n − 1` path rounds the heard-from
+/// sets are nested (`heard[y] = {0..y}`), every further path round has
+/// `heard[parent(y)] ⊆ heard[y]`, and the product graph never gains
+/// another edge — exactly one node ever broadcasts. The engine test
+/// `static_path_diverges_for_k_at_least_2` replays this witness; the `E10
+/// variants` experiment reports such runs as `>cap`, which is the
+/// *consistent* outcome, not a failure.
+///
+/// # Examples
+///
+/// ```
+/// use treecast_core::bounds::tree_k_broadcast_diverges;
+/// assert!(!tree_k_broadcast_diverges(1));
+/// assert!(tree_k_broadcast_diverges(2));
+/// ```
+pub fn tree_k_broadcast_diverges(k: u64) -> bool {
+    k >= 2
+}
+
 /// `true` iff `lower_bound(n) ≤ t ≤ upper_bound(n)` — the Theorem 3.1
 /// sandwich, which every *optimal* adversary's broadcast time must satisfy
 /// (achievable adversaries need only the right half).
@@ -295,6 +342,21 @@ mod tests {
         }
         assert_eq!(solved, 7, "exact frontier is n = 7");
         assert_eq!(known_t_star(0), None);
+    }
+
+    #[test]
+    fn k_broadcast_bounds_are_consistent() {
+        for n in 1..64u64 {
+            for k in 1..=n {
+                assert_eq!(k_broadcast_lower(n, k), lower_bound(n));
+            }
+        }
+        assert_eq!(k_broadcast_lower(10, 0), 0);
+        assert!(!tree_k_broadcast_diverges(0));
+        assert!(!tree_k_broadcast_diverges(1));
+        for k in 2..10 {
+            assert!(tree_k_broadcast_diverges(k));
+        }
     }
 
     #[test]

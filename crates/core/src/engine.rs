@@ -4,6 +4,7 @@
 use treecast_trees::{NodeId, RootedTree};
 
 use crate::model::BroadcastState;
+use crate::workload::{full_state_progress, Broadcast, Gossip, Workload};
 
 /// Produces the round-`t` tree, possibly as a function of the current
 /// product-graph state — this is Definition 2.3's adversary interface.
@@ -151,6 +152,10 @@ pub trait Observer {
 }
 
 /// What the simulation should wait for.
+///
+/// These are the two built-in members of the [`Workload`] lattice kept on
+/// the classic engine interface; `k`-broadcast and token-subset workloads
+/// run through [`crate::run_workload`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StopCondition {
     /// Stop at the first broadcast witness (Definition 2.2's `t*`).
@@ -158,6 +163,16 @@ pub enum StopCondition {
     /// Keep going until everyone has heard from everyone (gossip); the
     /// broadcast time is still recorded on the way.
     Gossip,
+}
+
+impl StopCondition {
+    /// The equivalent workload's termination predicate.
+    fn workload(self) -> &'static dyn Workload {
+        match self {
+            StopCondition::Broadcast => &Broadcast,
+            StopCondition::Gossip => &Gossip,
+        }
+    }
 }
 
 /// Engine configuration.
@@ -281,32 +296,31 @@ pub fn simulate_observed<S: TreeSource + ?Sized>(
     config: SimulationConfig,
     observers: &mut [&mut dyn Observer],
 ) -> RunReport {
+    // The stop decision runs through the workload lattice: one
+    // disseminated-token count per round feeds both milestone recorders
+    // and the configured workload's termination predicate.
+    let workload = config.until.workload();
     let mut state = BroadcastState::new(n);
-    let mut broadcast_time = state.broadcast_witness().map(|_| 0);
-    let mut gossip_time = state.is_gossip_complete().then_some(0);
+    let mut progress = full_state_progress(&state);
+    let mut broadcast_time = (progress.disseminated >= 1).then_some(0);
+    let mut gossip_time = (progress.disseminated >= progress.tokens).then_some(0);
 
-    let finished = |bt: Option<u64>, gt: Option<u64>| match config.until {
-        StopCondition::Broadcast => bt.is_some(),
-        StopCondition::Gossip => gt.is_some(),
-    };
-
-    while !finished(broadcast_time, gossip_time) && state.round() < config.max_rounds {
+    while !workload.is_complete(&progress) && state.round() < config.max_rounds {
         let tree = source.next_tree(&state);
         state.apply(&tree);
         for obs in observers.iter_mut() {
             obs.on_round(&tree, &state);
         }
-        if broadcast_time.is_none() {
-            if let Some(_witness) = state.broadcast_witness() {
-                broadcast_time = Some(state.round());
-            }
+        progress = full_state_progress(&state);
+        if broadcast_time.is_none() && progress.disseminated >= 1 {
+            broadcast_time = Some(state.round());
         }
-        if gossip_time.is_none() && state.is_gossip_complete() {
+        if gossip_time.is_none() && progress.disseminated >= progress.tokens {
             gossip_time = Some(state.round());
         }
     }
 
-    let outcome = if finished(broadcast_time, gossip_time) {
+    let outcome = if workload.is_complete(&progress) {
         match config.until {
             StopCondition::Broadcast => RunOutcome::Broadcast {
                 witness: state

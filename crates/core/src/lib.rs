@@ -19,6 +19,9 @@
 //!   the adversary interface (Definition 2.3) and run engine;
 //! * [`bounds`] — every formula in the paper's Figure 1, in exact integer
 //!   arithmetic;
+//! * [`Workload`] / [`run_workload`] — the companion paper's variant
+//!   workloads (arXiv:2211.10151): `k`-broadcast, all-to-all gossip, and
+//!   batched token-subset dissemination ([`TrackedTokens`]);
 //! * [`MetricsRecorder`] — the matrix-evolution quantities of the paper's
 //!   Section 3 analysis, observable round by round;
 //! * [`CertObserver`] / [`cert::check_theorem`] — runtime certificates for
@@ -49,6 +52,7 @@ pub mod cert;
 mod engine;
 pub mod metrics;
 mod model;
+pub mod workload;
 
 pub use cert::{CertObserver, TheoremVerdict, Violation};
 pub use engine::{
@@ -57,3 +61,7 @@ pub use engine::{
 };
 pub use metrics::{MetricsRecorder, RoundMetrics};
 pub use model::BroadcastState;
+pub use workload::{
+    run_workload, Broadcast, Gossip, KBroadcast, KSourceBroadcast, SourceSet, TrackedTokens,
+    Workload, WorkloadOutcome, WorkloadProgress, WorkloadReport,
+};

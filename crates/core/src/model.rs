@@ -211,6 +211,25 @@ impl BroadcastState {
         self.heard.is_all_ones()
     }
 
+    /// Number of *disseminated tokens*: nodes whose information has
+    /// reached everyone (full rows of `G(t)`, i.e. broadcast witnesses).
+    ///
+    /// This is the progress measure of the workload lattice
+    /// ([`crate::Workload`]): broadcast waits for 1, `k`-broadcast for
+    /// `k`, gossip for `n`. Bails out at the first empty intersection, so
+    /// the pre-broadcast rounds of a run pay the same early-exit cost as
+    /// [`BroadcastState::broadcast_witness`].
+    pub fn disseminated_count(&self) -> usize {
+        let mut acc = self.heard.row(0).to_bitset();
+        for y in 1..self.n {
+            acc.intersect_with(self.heard.row(y));
+            if acc.is_empty() {
+                return 0;
+            }
+        }
+        acc.len()
+    }
+
     /// Applies one synchronous round along `tree` (with implicit
     /// self-loops): `G(t+1) = G(t) ∘ (tree + I)`.
     ///

@@ -1,0 +1,686 @@
+//! Workloads: what the processes are trying to disseminate, and when a
+//! run counts as finished.
+//!
+//! The source paper studies one workload — single-source broadcast
+//! (Definition 2.2) — but its companion version (*Asymptotically Tight
+//! Bounds on the Time Complexity of Broadcast and its Variants in Dynamic
+//! Networks*, arXiv:2211.10151) generalizes the question to **k-broadcast**
+//! and **all-to-all gossip**. This module makes the whole family pluggable:
+//!
+//! * a token model — every source node owns a distinct token, and a round
+//!   graph moves tokens along its edges;
+//! * the [`Workload`] trait — which nodes are sources, and a termination
+//!   predicate over the per-token dissemination progress;
+//! * ready-made workloads: [`Broadcast`], [`KBroadcast`], [`Gossip`],
+//!   [`KSourceBroadcast`];
+//! * [`run_workload`] — the engine loop generalizing
+//!   [`crate::simulate`], plus [`TrackedTokens`], the batched `k`-row
+//!   state that rides `BoolMatrix::compose_prefix_into`.
+//!
+//! # Semantics
+//!
+//! Every node `x` starts with its own token `x`; after `t` rounds node `y`
+//! holds exactly the tokens `{x : (x, y) ∈ G(t)}` — the heard-from set
+//! [`BroadcastState`] already tracks. A token is **disseminated** when
+//! every node holds it (its source's row of `G(t)` is full, i.e. the
+//! source has broadcast). The workload family is a threshold lattice over
+//! the count of disseminated tokens:
+//!
+//! * [`Broadcast`] — 1 token disseminated (Definition 2.2 exactly);
+//! * [`KBroadcast`] — `k` tokens disseminated (`k` distinct nodes have
+//!   each completed a broadcast); `k = 1` recovers broadcast;
+//! * [`Gossip`] — all `n` tokens disseminated (`G(t)` all-ones, the
+//!   all-to-all mode previously reached via the engine's
+//!   `StopCondition::Gossip` / the tournament's `measure_gossip` flag);
+//! * [`KSourceBroadcast`] — only `k` chosen source tokens exist, all of
+//!   which must be disseminated; tracked in a batched `k × n` holder
+//!   matrix ([`TrackedTokens`]) instead of the full `n × n` state.
+//!
+//! A worst-case caveat the experiments exhibit (`E10 variants`): under the
+//! unrestricted rooted-tree adversary only `k = 1` is guaranteed finite —
+//! the static path reaches a state whose heard-from sets are nested after
+//! `n − 1` rounds and then never makes progress again, so `k ≥ 2` and
+//! gossip can be delayed forever ([`crate::bounds::tree_k_broadcast_diverges`]).
+//! Under `c`-nonsplit round graphs every workload completes quickly.
+
+use treecast_bitmatrix::BoolMatrix;
+use treecast_trees::{NodeId, RootedTree};
+
+use crate::engine::{SimulationConfig, TreeSource};
+use crate::model::BroadcastState;
+
+/// Which nodes start with a token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceSet {
+    /// Every node is a source of its own token (the broadcast/gossip
+    /// family; state = the full product graph).
+    All,
+    /// Only these nodes are sources; the engine tracks one holder row per
+    /// token in a batched [`TrackedTokens`] state.
+    Nodes(Vec<NodeId>),
+}
+
+/// Per-round dissemination progress handed to
+/// [`Workload::is_complete`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadProgress {
+    /// Number of processes.
+    pub n: usize,
+    /// Rounds applied so far.
+    pub round: u64,
+    /// Total tokens in flight (`n` for [`SourceSet::All`]).
+    pub tokens: usize,
+    /// Tokens currently held by every node.
+    pub disseminated: usize,
+}
+
+/// A dissemination workload: sources, token semantics, and a termination
+/// predicate.
+///
+/// Implementations are cheap value objects; the engine queries
+/// [`Workload::sources`] once and [`Workload::is_complete`] every round.
+pub trait Workload {
+    /// Report name (`broadcast`, `k-broadcast(k=2)`, …).
+    fn name(&self) -> String;
+
+    /// Which nodes start with a token, given the run size.
+    fn sources(&self, n: usize) -> SourceSet {
+        let _ = n;
+        SourceSet::All
+    }
+
+    /// Returns `true` once the run's goal is reached.
+    fn is_complete(&self, progress: &WorkloadProgress) -> bool;
+}
+
+/// Single-source broadcast — Definition 2.2: stop at the first round where
+/// some node's information has reached everyone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Broadcast;
+
+impl Workload for Broadcast {
+    fn name(&self) -> String {
+        "broadcast".into()
+    }
+
+    fn is_complete(&self, progress: &WorkloadProgress) -> bool {
+        progress.disseminated >= 1
+    }
+}
+
+/// `k`-broadcast — the companion paper's generalization: stop once `k`
+/// distinct nodes have each completed a broadcast (`k` tokens are held by
+/// everyone). `k = 1` is [`Broadcast`], `k = n` is [`Gossip`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KBroadcast {
+    k: usize,
+}
+
+impl KBroadcast {
+    /// A `k`-broadcast workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (completion would be vacuous at round 0 for
+    /// every run — almost certainly a bug at the call site).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k-broadcast needs at least one token");
+        KBroadcast { k }
+    }
+
+    /// The dissemination threshold.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Workload for KBroadcast {
+    fn name(&self) -> String {
+        format!("k-broadcast(k={})", self.k)
+    }
+
+    fn is_complete(&self, progress: &WorkloadProgress) -> bool {
+        progress.disseminated >= self.k
+    }
+}
+
+/// All-to-all gossip: stop once every node has heard from every node
+/// (`G(t)` all-ones). Replaces the ad-hoc `measure_gossip` plumbing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gossip;
+
+impl Workload for Gossip {
+    fn name(&self) -> String {
+        "gossip".into()
+    }
+
+    fn is_complete(&self, progress: &WorkloadProgress) -> bool {
+        progress.disseminated >= progress.tokens
+    }
+}
+
+/// Broadcast from `k` chosen sources: only the sources' tokens exist, and
+/// the run completes when all of them have been disseminated.
+///
+/// Unlike the [`SourceSet::All`] family this workload is measured on a
+/// batched [`TrackedTokens`] state — `k` holder rows composed with the
+/// round matrix through `BoolMatrix::compose_prefix_into`, which puts the
+/// PR-2 tiled kernel on the hot path at `k ≪ n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KSourceBroadcast {
+    sources: Vec<NodeId>,
+}
+
+impl KSourceBroadcast {
+    /// Broadcast of the tokens owned by `sources`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is empty or contains duplicates.
+    pub fn new(sources: Vec<NodeId>) -> Self {
+        assert!(!sources.is_empty(), "need at least one source");
+        let mut seen = sources.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), sources.len(), "duplicate source node");
+        KSourceBroadcast { sources }
+    }
+
+    /// The `k` evenly spread canonical sources `{0, ⌊n/k⌋, …}` used by the
+    /// experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > n`.
+    pub fn evenly_spread(n: usize, k: usize) -> Self {
+        assert!(k >= 1 && k <= n, "need 1 ≤ k ≤ n, got k = {k}, n = {n}");
+        Self::new((0..k).map(|i| i * n / k).collect())
+    }
+
+    /// The chosen sources.
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
+    }
+}
+
+impl Workload for KSourceBroadcast {
+    fn name(&self) -> String {
+        format!("k-source-broadcast(k={})", self.sources.len())
+    }
+
+    fn sources(&self, n: usize) -> SourceSet {
+        assert!(
+            self.sources.iter().all(|&s| s < n),
+            "source out of range for n = {n}"
+        );
+        SourceSet::Nodes(self.sources.clone())
+    }
+
+    fn is_complete(&self, progress: &WorkloadProgress) -> bool {
+        progress.disseminated >= progress.tokens
+    }
+}
+
+/// Batched token-subset dissemination state: row `i` is the holder set of
+/// token `i` (owned by `sources[i]`), kept in the first `k` rows of one
+/// square [`BoolMatrix`].
+///
+/// Round application is one [`BoolMatrix::compose_prefix_into`] — a
+/// `k × n` row block against the round's `n × n` matrix — so a
+/// `k`-source run costs `k/n`-th of a full-state round and runs on the
+/// PR-2 sparse/tiled kernels. The round matrix and output buffers are
+/// retained, so steady-state stepping performs no heap allocation.
+#[derive(Debug, Clone)]
+pub struct TrackedTokens {
+    n: usize,
+    round: u64,
+    sources: Vec<NodeId>,
+    /// Rows `0..sources.len()` are live holder sets; the rest stay zero.
+    holders: BoolMatrix,
+    /// Retained double buffer for the compose output.
+    scratch: BoolMatrix,
+    /// Retained buffer for the round tree's matrix (`T + I`).
+    round_matrix: BoolMatrix,
+}
+
+impl TrackedTokens {
+    /// A fresh state: token `i` is held only by `sources[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `sources` is empty, or any source is `>= n`.
+    pub fn new(n: usize, sources: &[NodeId]) -> Self {
+        assert!(n > 0, "the model needs at least one process");
+        assert!(!sources.is_empty(), "need at least one source");
+        let mut holders = BoolMatrix::zeros(n);
+        for (i, &s) in sources.iter().enumerate() {
+            assert!(s < n, "source {s} out of range for n = {n}");
+            holders.set(i, s, true);
+        }
+        TrackedTokens {
+            n,
+            round: 0,
+            sources: sources.to_vec(),
+            holders,
+            scratch: BoolMatrix::zeros(n),
+            round_matrix: BoolMatrix::zeros(n),
+        }
+    }
+
+    /// Number of processes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Rounds applied so far.
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The tracked sources, in token order.
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
+    }
+
+    /// The holder set of token `i` as a zero-copy row view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= sources().len()`.
+    pub fn holders(&self, i: usize) -> treecast_bitmatrix::RowRef<'_> {
+        assert!(i < self.sources.len(), "token {i} out of range");
+        self.holders.row(i)
+    }
+
+    /// Number of tokens currently held by every node.
+    pub fn disseminated_count(&self) -> usize {
+        (0..self.sources.len())
+            .filter(|&i| self.holders.row(i).is_full())
+            .count()
+    }
+
+    /// Applies one synchronous round along `tree` (self-loops implied):
+    /// each holder row becomes `row ∘ (T + I)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tree.n() != self.n()`.
+    pub fn apply(&mut self, tree: &RootedTree) {
+        assert_eq!(
+            tree.n(),
+            self.n,
+            "round tree has {} nodes but the state has {}",
+            tree.n(),
+            self.n
+        );
+        self.round_matrix.clear();
+        self.round_matrix.add_self_loops();
+        for y in 0..self.n {
+            if let Some(p) = tree.parent(y) {
+                self.round_matrix.set(p, y, true);
+            }
+        }
+        self.step();
+    }
+
+    /// Applies one synchronous round along an arbitrary directed graph
+    /// `m` (self-loops are **not** implied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.n() != self.n()`.
+    pub fn apply_matrix(&mut self, m: &BoolMatrix) {
+        assert_eq!(
+            m.n(),
+            self.n,
+            "round matrix has {} nodes but the state has {}",
+            m.n(),
+            self.n
+        );
+        self.round_matrix.clone_from(m);
+        self.step();
+    }
+
+    fn step(&mut self) {
+        self.holders
+            .compose_prefix_into(self.sources.len(), &self.round_matrix, &mut self.scratch);
+        std::mem::swap(&mut self.holders, &mut self.scratch);
+        self.round += 1;
+    }
+
+    /// The progress summary the workload predicates consume.
+    pub fn progress(&self) -> WorkloadProgress {
+        WorkloadProgress {
+            n: self.n,
+            round: self.round,
+            tokens: self.sources.len(),
+            disseminated: self.disseminated_count(),
+        }
+    }
+}
+
+/// The dissemination progress of a full [`BroadcastState`]
+/// ([`SourceSet::All`] semantics: every node sources its own token).
+pub fn full_state_progress(state: &BroadcastState) -> WorkloadProgress {
+    WorkloadProgress {
+        n: state.n(),
+        round: state.round(),
+        tokens: state.n(),
+        disseminated: state.disseminated_count(),
+    }
+}
+
+/// Why a workload run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadOutcome {
+    /// The workload's termination predicate fired.
+    Completed,
+    /// The round cap was hit first (worst-case `k ≥ 2` tree runs do this
+    /// by design — see [`crate::bounds::tree_k_broadcast_diverges`]).
+    RoundLimit,
+}
+
+/// Summary of a finished workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Number of processes.
+    pub n: usize,
+    /// Workload name.
+    pub workload: String,
+    /// Tree-source name.
+    pub source: String,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Why the run stopped.
+    pub outcome: WorkloadOutcome,
+    /// First round at which the workload was complete, if reached.
+    pub completion_time: Option<u64>,
+    /// First round with at least one token disseminated (the classic
+    /// broadcast time), if reached.
+    pub broadcast_time: Option<u64>,
+    /// Tokens disseminated when the run stopped.
+    pub disseminated: usize,
+    /// Total tokens in flight.
+    pub tokens: usize,
+}
+
+impl WorkloadReport {
+    /// The completion time, panicking with context if the run capped out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload did not complete.
+    pub fn completion_time_or_panic(&self) -> u64 {
+        self.completion_time.unwrap_or_else(|| {
+            panic!(
+                "workload {:?} under {:?} did not complete within {} rounds at n = {} \
+                 ({}/{} tokens disseminated)",
+                self.workload, self.source, self.rounds, self.n, self.disseminated, self.tokens
+            )
+        })
+    }
+}
+
+/// Runs `source` against a fresh `n`-process state until `workload`
+/// completes or `config.max_rounds` passes.
+///
+/// For [`SourceSet::All`] workloads the state is a [`BroadcastState`]
+/// (identical stepping to [`crate::simulate`]); for
+/// [`SourceSet::Nodes`] workloads the measured object is a batched
+/// [`TrackedTokens`] state, with a full [`BroadcastState`] kept in
+/// lockstep so state-reading adversaries ([`TreeSource`]) see the same
+/// interface as everywhere else.
+///
+/// `config.until` is ignored — the workload is the stop condition.
+///
+/// # Examples
+///
+/// ```
+/// use treecast_core::{run_workload, Gossip, KBroadcast, SimulationConfig, StaticSource};
+/// use treecast_trees::generators;
+///
+/// let n = 6;
+/// // One star round disseminates the center's token:
+/// let mut star = StaticSource::new(generators::star(n));
+/// let report = run_workload(n, &mut star, &KBroadcast::new(1), SimulationConfig::for_n(n));
+/// assert_eq!(report.completion_time, Some(1));
+///
+/// // ... but a static star never completes gossip (leaf tokens are stuck).
+/// let mut star = StaticSource::new(generators::star(n));
+/// let report = run_workload(n, &mut star, &Gossip, SimulationConfig::for_n(n));
+/// assert_eq!(report.completion_time, None);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`, a source node is out of range, or the tree source
+/// produces a tree of the wrong size.
+pub fn run_workload<S: TreeSource + ?Sized, W: Workload + ?Sized>(
+    n: usize,
+    source: &mut S,
+    workload: &W,
+    config: SimulationConfig,
+) -> WorkloadReport {
+    let mut state = BroadcastState::new(n);
+    let mut tracked = match workload.sources(n) {
+        SourceSet::All => None,
+        SourceSet::Nodes(sources) => Some(TrackedTokens::new(n, &sources)),
+    };
+    let progress_of = |state: &BroadcastState, tracked: &Option<TrackedTokens>| match tracked {
+        Some(t) => t.progress(),
+        None => full_state_progress(state),
+    };
+
+    // For All-source workloads `progress` *is* the full-state progress, so
+    // the classic broadcast milestone reads it for free; only tracked runs
+    // pay a separate full-state intersection (and only until it fires).
+    let full_disseminated = |progress: &WorkloadProgress,
+                             tracked: &Option<TrackedTokens>,
+                             state: &BroadcastState| match tracked {
+        None => progress.disseminated,
+        Some(_) => state.disseminated_count(),
+    };
+
+    let mut progress = progress_of(&state, &tracked);
+    let mut completion_time = workload.is_complete(&progress).then_some(0);
+    let mut broadcast_time = (full_disseminated(&progress, &tracked, &state) >= 1).then_some(0);
+
+    while completion_time.is_none() && state.round() < config.max_rounds {
+        let tree = source.next_tree(&state);
+        state.apply(&tree);
+        if let Some(t) = tracked.as_mut() {
+            t.apply(&tree);
+        }
+        progress = progress_of(&state, &tracked);
+        if workload.is_complete(&progress) {
+            completion_time = Some(progress.round);
+        }
+        if broadcast_time.is_none() && full_disseminated(&progress, &tracked, &state) >= 1 {
+            broadcast_time = Some(state.round());
+        }
+    }
+
+    WorkloadReport {
+        n,
+        workload: workload.name(),
+        source: source.name(),
+        rounds: state.round(),
+        outcome: if completion_time.is_some() {
+            WorkloadOutcome::Completed
+        } else {
+            WorkloadOutcome::RoundLimit
+        },
+        completion_time,
+        broadcast_time,
+        disseminated: progress.disseminated,
+        tokens: progress.tokens,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SequenceSource, StaticSource};
+    use treecast_trees::generators;
+
+    #[test]
+    fn broadcast_workload_matches_simulate() {
+        for n in 2..10 {
+            let mut a = StaticSource::new(generators::path(n));
+            let mut b = StaticSource::new(generators::path(n));
+            let legacy = simulate(n, &mut a, SimulationConfig::for_n(n));
+            let report = run_workload(n, &mut b, &Broadcast, SimulationConfig::for_n(n));
+            assert_eq!(report.completion_time, legacy.broadcast_time, "n = {n}");
+            assert_eq!(report.broadcast_time, legacy.broadcast_time, "n = {n}");
+            assert_eq!(report.rounds, legacy.rounds, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn k_equals_one_is_broadcast_and_k_equals_n_is_gossip() {
+        let n = 5;
+        // A rotating star completes gossip after a star on every center.
+        let schedule: Vec<_> = (0..n).map(|c| generators::star_with_center(n, c)).collect();
+        let mut s1 = SequenceSource::new(schedule.clone());
+        let mut s2 = SequenceSource::new(schedule.clone());
+        let mut s3 = SequenceSource::new(schedule.clone());
+        let mut s4 = SequenceSource::new(schedule);
+        let cfg = SimulationConfig::for_n(n);
+        let b = run_workload(n, &mut s1, &Broadcast, cfg);
+        let k1 = run_workload(n, &mut s2, &KBroadcast::new(1), cfg);
+        let kn = run_workload(n, &mut s3, &KBroadcast::new(n), cfg);
+        let g = run_workload(n, &mut s4, &Gossip, cfg);
+        assert_eq!(b.completion_time, k1.completion_time);
+        assert_eq!(kn.completion_time, g.completion_time);
+        assert!(g.completion_time.unwrap() >= b.completion_time.unwrap());
+    }
+
+    #[test]
+    fn k_broadcast_monotone_in_k() {
+        let n = 6;
+        let schedule: Vec<_> = (0..n).map(|c| generators::star_with_center(n, c)).collect();
+        let mut prev = 0;
+        for k in 1..=n {
+            let mut src = SequenceSource::new(schedule.clone());
+            let r = run_workload(n, &mut src, &KBroadcast::new(k), SimulationConfig::for_n(n));
+            let t = r.completion_time_or_panic();
+            assert!(t >= prev, "k-broadcast must be monotone in k ({k})");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn static_path_diverges_for_k_at_least_2() {
+        // The worst-case witness behind bounds::tree_k_broadcast_diverges:
+        // after n − 1 path rounds the heard sets are nested and no further
+        // round of the same path makes progress.
+        let n = 5;
+        let mut src = StaticSource::new(generators::path(n));
+        let r = run_workload(
+            n,
+            &mut src,
+            &KBroadcast::new(2),
+            SimulationConfig::for_n(n).with_max_rounds(200),
+        );
+        assert_eq!(r.outcome, WorkloadOutcome::RoundLimit);
+        assert_eq!(r.disseminated, 1, "only the path root's token spreads");
+        assert_eq!(r.broadcast_time, Some((n - 1) as u64));
+    }
+
+    #[test]
+    fn tracked_tokens_agree_with_full_state() {
+        // Holder row i of a tracked run must equal the reach set of
+        // sources[i] in the full product state, round for round.
+        let n = 7;
+        let sources = vec![0usize, 3, 6];
+        let mut tracked = TrackedTokens::new(n, &sources);
+        let mut full = BroadcastState::new(n);
+        let rounds = [
+            generators::path(n),
+            generators::star_with_center(n, 3),
+            generators::broom(n, 2),
+            generators::caterpillar(n, 3),
+            generators::path(n),
+        ];
+        for tree in &rounds {
+            tracked.apply(tree);
+            full.apply(tree);
+            for (i, &s) in sources.iter().enumerate() {
+                assert_eq!(
+                    tracked.holders(i).to_bitset(),
+                    full.reach_set(s),
+                    "token {i} (source {s}) diverged at round {}",
+                    full.round()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tracked_tokens_matrix_rounds() {
+        let n = 6;
+        let sources = vec![1usize, 4];
+        let mut tracked = TrackedTokens::new(n, &sources);
+        let mut full = BroadcastState::new(n);
+        let m = BoolMatrix::from_edges(n, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let mut reflexive = m.clone();
+        reflexive.add_self_loops();
+        for _ in 0..4 {
+            tracked.apply_matrix(&reflexive);
+            full.apply_matrix(&reflexive);
+            for (i, &s) in sources.iter().enumerate() {
+                assert_eq!(tracked.holders(i).to_bitset(), full.reach_set(s));
+            }
+        }
+    }
+
+    #[test]
+    fn k_source_broadcast_completes_under_rotating_stars() {
+        let n = 6;
+        let workload = KSourceBroadcast::evenly_spread(n, 3);
+        let schedule: Vec<_> = (0..n).map(|c| generators::star_with_center(n, c)).collect();
+        let mut src = SequenceSource::new(schedule);
+        let r = run_workload(n, &mut src, &workload, SimulationConfig::for_n(n));
+        let t = r.completion_time_or_panic();
+        assert!(t <= n as u64);
+        assert_eq!(r.tokens, 3);
+        assert_eq!(r.disseminated, 3);
+    }
+
+    #[test]
+    fn k_source_names_and_sources() {
+        let w = KSourceBroadcast::evenly_spread(8, 4);
+        assert_eq!(w.sources(), &[0, 2, 4, 6]);
+        assert!(Workload::name(&w).contains("k=4"));
+        assert!(matches!(Workload::sources(&w, 8), SourceSet::Nodes(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn k_zero_rejected() {
+        KBroadcast::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate source")]
+    fn duplicate_sources_rejected() {
+        KSourceBroadcast::new(vec![1, 1]);
+    }
+
+    #[test]
+    fn single_node_everything_is_instant() {
+        let mut src = StaticSource::new(generators::star(1));
+        let r = run_workload(1, &mut src, &Gossip, SimulationConfig::for_n(1));
+        assert_eq!(r.completion_time, Some(0));
+        assert_eq!(r.rounds, 0);
+    }
+
+    #[test]
+    fn workload_names() {
+        assert_eq!(Broadcast.name(), "broadcast");
+        assert_eq!(KBroadcast::new(3).name(), "k-broadcast(k=3)");
+        assert_eq!(Gossip.name(), "gossip");
+    }
+}

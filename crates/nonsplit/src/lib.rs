@@ -29,7 +29,8 @@
 use rand::Rng;
 
 use treecast_bitmatrix::BoolMatrix;
-use treecast_core::BroadcastState;
+use treecast_core::workload::{full_state_progress, SourceSet, TrackedTokens};
+use treecast_core::{Broadcast, BroadcastState, Gossip, Workload};
 use treecast_trees::{random, RootedTree};
 
 /// The product `T₁∘…∘T_k` of a tree sequence, self-loops included
@@ -44,7 +45,11 @@ pub fn product_of(trees: &[RootedTree]) -> BoolMatrix {
         "product of an empty sequence is undefined"
     );
     // Ping-pong two buffers through the allocation-free kernel: the only
-    // per-round allocation left is the tree's own matrix.
+    // per-round allocation left is the tree's own matrix. The swap parity
+    // is safe for any sequence length because `compose_into` fully
+    // overwrites its output (it clears `out` before composing), so the
+    // stale contents of the swapped-in scratch can never leak into a
+    // result — pinned by `product_parity_regression` below.
     let mut acc = trees[0].to_matrix(true);
     let mut scratch = BoolMatrix::zeros(acc.n());
     for t in &trees[1..] {
@@ -149,6 +154,58 @@ pub mod generators {
         product_of(&random_tree_sequence(n, n - 1, rng))
     }
 
+    /// The deterministic **piecewise** `c`-nonsplit graph: `c + 1` hubs,
+    /// hub `i` pointing at everything outside the residue class
+    /// `P_i = {y : y ≡ i (mod c + 1)}`, everyone else carrying only a
+    /// self-loop.
+    ///
+    /// Any `c` nodes meet at most `c` of the `c + 1` classes, so some hub
+    /// covers them all — the graph is `c`-nonsplit
+    /// ([`BoolMatrix::is_c_nonsplit`]). It is *tightly* so: for
+    /// `n ≥ 2(c + 1)` a transversal `(c + 1)`-subset avoiding the hub
+    /// nodes hits every class and shares no in-neighbor. This makes the
+    /// family the natural knob for the companion paper's "tighter
+    /// nonsplit" adversaries: raising `c` hands the processes strictly
+    /// more shared coverage per round, and measured dissemination times
+    /// fall accordingly (experiment `variants`).
+    ///
+    /// When `c + 1 > n` the construction degenerates to a single full hub
+    /// (which is `c`-nonsplit for every `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `c < 2`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use treecast_nonsplit::generators::piecewise;
+    /// let g = piecewise(12, 3);
+    /// assert!(g.is_c_nonsplit(3));
+    /// assert!(!g.is_c_nonsplit(4)); // tight at n ≥ 2(c + 1)
+    /// ```
+    pub fn piecewise(n: usize, c: usize) -> BoolMatrix {
+        assert!(n > 0, "graph needs at least one node");
+        assert!(c >= 2, "c-nonsplit needs c ≥ 2 (c = 2 is plain nonsplit)");
+        let mut m = BoolMatrix::identity(n);
+        let hubs = c + 1;
+        if hubs > n {
+            for y in 0..n {
+                m.set(0, y, true);
+            }
+            return m;
+        }
+        for i in 0..hubs {
+            for y in 0..n {
+                if y % hubs != i {
+                    m.set(i, y, true);
+                }
+            }
+        }
+        debug_assert!(m.is_c_nonsplit(c));
+        m
+    }
+
     /// The deterministic **grid** nonsplit graph — the sparsest classic
     /// construction, with out-degrees `Θ(√n)`.
     ///
@@ -207,6 +264,42 @@ pub trait MatrixSource {
     fn next_matrix<R: Rng + ?Sized>(&mut self, state: &BroadcastState, rng: &mut R) -> BoolMatrix;
 }
 
+/// Plays the piecewise `c`-nonsplit graph every round, with the node
+/// roles reshuffled by a fresh random relabeling — the "tighter nonsplit"
+/// adversary family of the companion paper (arXiv:2211.10151): every
+/// `c`-subset of processes is served a common in-neighbor each round, and
+/// larger `c` means strictly faster dissemination.
+#[derive(Debug, Clone, Copy)]
+pub struct PiecewiseNonsplit {
+    /// Subset size every round graph must cover (`c ≥ 2`; `c = 2` is the
+    /// classic nonsplit constraint).
+    pub c: usize,
+}
+
+impl PiecewiseNonsplit {
+    /// A `c`-nonsplit adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c < 2`.
+    pub fn new(c: usize) -> Self {
+        assert!(c >= 2, "c-nonsplit needs c ≥ 2");
+        PiecewiseNonsplit { c }
+    }
+}
+
+impl MatrixSource for PiecewiseNonsplit {
+    fn next_matrix<R: Rng + ?Sized>(&mut self, state: &BroadcastState, rng: &mut R) -> BoolMatrix {
+        let n = state.n();
+        let base = generators::piecewise(n, self.c);
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            perm.swap(i, rng.gen_range(0..=i));
+        }
+        base.permute(&perm)
+    }
+}
+
 /// Plays a fresh sparse random nonsplit graph every round.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RandomNonsplit;
@@ -252,10 +345,73 @@ impl MatrixSource for GreedyNonsplit {
     }
 }
 
+/// Rounds until `workload` completes under nonsplit round graphs drawn
+/// from `source`, or `None` if `cap` rounds pass first.
+///
+/// This is the dissemination measurement generalized over the
+/// [`Workload`] lattice: broadcast ([`treecast_core::Broadcast`]),
+/// `k`-broadcast, gossip, and token-subset workloads all run through the
+/// same loop. [`SourceSet::All`] workloads step a full [`BroadcastState`];
+/// token-subset workloads additionally step a batched [`TrackedTokens`]
+/// state whose `k` holder rows ride `BoolMatrix::compose_prefix_into`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use treecast_core::{Gossip, KBroadcast};
+/// use treecast_nonsplit::{workload_time_nonsplit, RandomNonsplit};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let k2 = workload_time_nonsplit(32, &KBroadcast::new(2), &mut RandomNonsplit, 200, &mut rng)
+///     .unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let gossip =
+///     workload_time_nonsplit(32, &Gossip, &mut RandomNonsplit, 200, &mut rng).unwrap();
+/// assert!(k2 <= gossip, "the workload lattice orders completion times");
+/// ```
+pub fn workload_time_nonsplit<W, S, R>(
+    n: usize,
+    workload: &W,
+    source: &mut S,
+    cap: u64,
+    rng: &mut R,
+) -> Option<u64>
+where
+    W: Workload + ?Sized,
+    S: MatrixSource,
+    R: Rng + ?Sized,
+{
+    let mut state = BroadcastState::new(n);
+    let mut tracked = match workload.sources(n) {
+        SourceSet::All => None,
+        SourceSet::Nodes(sources) => Some(TrackedTokens::new(n, &sources)),
+    };
+    loop {
+        let progress = match &tracked {
+            Some(t) => t.progress(),
+            None => full_state_progress(&state),
+        };
+        if workload.is_complete(&progress) {
+            return Some(progress.round);
+        }
+        if state.round() >= cap {
+            return None;
+        }
+        let m = source.next_matrix(&state, rng);
+        debug_assert!(m.is_nonsplit(), "source must produce nonsplit rounds");
+        state.apply_matrix(&m);
+        if let Some(t) = tracked.as_mut() {
+            t.apply_matrix(&m);
+        }
+    }
+}
+
 /// Rounds until some node has reached everyone under a nonsplit-round
 /// source, or `None` if `cap` rounds pass first.
 ///
-/// The Függer–Nowak–Winkler bound predicts `O(log log n)`.
+/// The Függer–Nowak–Winkler bound predicts `O(log log n)`. Thin wrapper
+/// over [`workload_time_nonsplit`] with the [`Broadcast`] workload.
 ///
 /// # Examples
 ///
@@ -273,35 +429,19 @@ pub fn broadcast_time_nonsplit<S: MatrixSource, R: Rng + ?Sized>(
     cap: u64,
     rng: &mut R,
 ) -> Option<u64> {
-    let mut state = BroadcastState::new(n);
-    while state.broadcast_witness().is_none() {
-        if state.round() >= cap {
-            return None;
-        }
-        let m = source.next_matrix(&state, rng);
-        debug_assert!(m.is_nonsplit(), "source must produce nonsplit rounds");
-        state.apply_matrix(&m);
-    }
-    Some(state.round())
+    workload_time_nonsplit(n, &Broadcast, source, cap, rng)
 }
 
 /// Rounds until everyone has heard everyone (gossip) under nonsplit
-/// rounds, or `None` at `cap`.
+/// rounds, or `None` at `cap`. Thin wrapper over
+/// [`workload_time_nonsplit`] with the [`Gossip`] workload.
 pub fn gossip_time_nonsplit<S: MatrixSource, R: Rng + ?Sized>(
     n: usize,
     source: &mut S,
     cap: u64,
     rng: &mut R,
 ) -> Option<u64> {
-    let mut state = BroadcastState::new(n);
-    while !state.is_gossip_complete() {
-        if state.round() >= cap {
-            return None;
-        }
-        let m = source.next_matrix(&state, rng);
-        state.apply_matrix(&m);
-    }
-    Some(state.round())
+    workload_time_nonsplit(n, &Gossip, source, cap, rng)
 }
 
 #[cfg(test)]
@@ -447,5 +587,121 @@ mod tests {
     #[should_panic(expected = "empty sequence")]
     fn empty_product_panics() {
         product_of(&[]);
+    }
+
+    #[test]
+    fn product_parity_regression() {
+        // Audit of the acc/scratch ping-pong: after an even number of
+        // swaps the returned buffer started life as the scratch matrix, so
+        // a compose kernel that merely OR-ed into (instead of overwriting)
+        // its output would corrupt even-length products only. Pin odd and
+        // even sequence lengths of identical trees against a plain
+        // allocating compose chain.
+        let n = 6;
+        for tree in [treegen::path(n), treegen::broom(n, 3), treegen::star(n)] {
+            for len in 1..=2 * n {
+                let seq: Vec<RootedTree> = vec![tree.clone(); len];
+                let mut reference = tree.to_matrix(true);
+                for t in &seq[1..] {
+                    reference = reference.compose(&t.to_matrix(true));
+                }
+                assert_eq!(
+                    product_of(&seq),
+                    reference,
+                    "len = {len} ({}) product diverged",
+                    if len % 2 == 0 { "even" } else { "odd" }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn piecewise_is_tightly_c_nonsplit() {
+        for c in 2..=4usize {
+            for n in [2 * (c + 1), 3 * (c + 1) + 1, 20] {
+                let g = generators::piecewise(n, c);
+                assert!(g.is_c_nonsplit(c), "piecewise({n}, {c}) not {c}-nonsplit");
+                assert!(
+                    !g.is_c_nonsplit(c + 1),
+                    "piecewise({n}, {c}) unexpectedly {}-nonsplit",
+                    c + 1
+                );
+            }
+        }
+        // Degenerate small-n case: one full hub serves every subset size.
+        let tiny = generators::piecewise(3, 4);
+        assert!(tiny.is_c_nonsplit(3));
+    }
+
+    #[test]
+    fn piecewise_source_produces_c_nonsplit_rounds() {
+        let mut rng = rng();
+        let state = BroadcastState::new(14);
+        for c in [2usize, 3, 4] {
+            let mut src = PiecewiseNonsplit::new(c);
+            for _ in 0..5 {
+                let m = src.next_matrix(&state, &mut rng);
+                assert!(m.is_c_nonsplit(c), "c = {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn tighter_nonsplit_is_never_slower() {
+        // Raising c can only help the processes: measure the piecewise
+        // family end to end and require a (weakly) falling gossip time.
+        let n = 24;
+        let trials = 4;
+        let mut times = Vec::new();
+        for c in [2usize, 4, 8] {
+            let mut total = 0u64;
+            for seed in 0..trials {
+                let mut rng = StdRng::seed_from_u64(seed);
+                total +=
+                    gossip_time_nonsplit(n, &mut PiecewiseNonsplit::new(c), 500, &mut rng).unwrap();
+            }
+            times.push(total);
+        }
+        assert!(
+            times[0] + trials >= times[2],
+            "c = 8 ({}) should not be slower than c = 2 ({}) beyond noise",
+            times[2],
+            times[0]
+        );
+    }
+
+    #[test]
+    fn workload_lattice_orders_completion_times() {
+        use treecast_core::KBroadcast;
+        let n = 16;
+        let times: Vec<u64> = (1..=n)
+            .step_by(5)
+            .map(|k| {
+                let mut rng = StdRng::seed_from_u64(7);
+                workload_time_nonsplit(n, &KBroadcast::new(k), &mut RandomNonsplit, 500, &mut rng)
+                    .expect("random nonsplit completes k-broadcast")
+            })
+            .collect();
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "k-broadcast times must be monotone in k: {times:?}"
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let gossip = gossip_time_nonsplit(n, &mut RandomNonsplit, 500, &mut rng).unwrap();
+        assert_eq!(*times.last().unwrap(), gossip);
+    }
+
+    #[test]
+    fn tracked_subset_agrees_with_full_state_under_nonsplit_rounds() {
+        use treecast_core::KSourceBroadcast;
+        let n = 12;
+        let workload = KSourceBroadcast::evenly_spread(n, 3);
+        let mut rng = StdRng::seed_from_u64(99);
+        let tracked =
+            workload_time_nonsplit(n, &workload, &mut RandomNonsplit, 500, &mut rng).unwrap();
+        // The same seed's gossip run upper-bounds the 3-source run.
+        let mut rng = StdRng::seed_from_u64(99);
+        let gossip = gossip_time_nonsplit(n, &mut RandomNonsplit, 500, &mut rng).unwrap();
+        assert!(tracked <= gossip, "3 tokens ({tracked}) vs all ({gossip})");
     }
 }
