@@ -5,8 +5,9 @@
 #
 #   quick    fmt check, release build, tests, bench smoke, docs
 #            (skips the bench regression gates and the --ignored tier)
-#   full     quick + the compose/solver/workloads bench gates (default)
-#   release  full + the slow --ignored solver tier
+#   full     quick + the compose/solver/workloads/adversary bench gates
+#            and the release-mode differential/scenario proptests (default)
+#   release  full + the slow --ignored solver tier and the beam width sweep
 #   --fix    apply rustfmt instead of failing on drift
 #
 # Every step runs even after a failure: one CI run reports all breakage,
@@ -86,6 +87,14 @@ if [[ "$TIER" != quick ]]; then
     run_step "workloads bench gate (exact rounds + tracked-step wall)" \
         cargo run --release -p treecast-bench --bin bench_workloads -- \
         --check results/BENCH_workloads_baseline.json
+    run_step "adversary bench gate (exact plan rounds + planning wall)" \
+        cargo run --release -p treecast-bench --bin bench_adversary -- \
+        --check results/BENCH_adversary_baseline.json
+    # The beam/greedy/exact differential harness and the fault-layer
+    # scenario properties, in release mode (they also run in the debug
+    # tier-1 pass; this run is the fast, optimized re-check).
+    run_step "adversary differential + scenario proptests (release)" \
+        cargo test -q --release --test adversary_differential --test scenarios
 fi
 
 if [[ "$TIER" == release ]]; then
@@ -94,6 +103,10 @@ if [[ "$TIER" == release ]]; then
     # debug tier. The n = 7 frontier test stays opt-in via TREECAST_N7=1.
     run_step "release-tier slow solver tests (--ignored)" \
         cargo test -q --release -p treecast-solver -- --ignored
+    # Beam width heuristic validation on the E10 grid; records
+    # results/width_sweep.csv and asserts width 8 never loses to width 2.
+    run_step "beam width sweep (--ignored, writes results/width_sweep.csv)" \
+        cargo test -q --release --test adversary_width_sweep -- --ignored
 fi
 
 run_step "cargo doc --no-deps (warnings are errors)" step_docs

@@ -1,20 +1,43 @@
-//! Offline beam search over whole tree schedules.
+//! Offline beam search over whole tree schedules, generic over workloads.
 //!
 //! Greedy adversaries commit to one tree per round; beam search keeps the
 //! `width` most promising *product-graph states* alive and extends them
 //! all, which recovers delaying lines a one-step objective misses. The
 //! result is a replayable schedule (a [`SequenceSource`]), making every
-//! beam result a *certified achievable lower bound* on `t*(T_n)`.
+//! beam result a *certified achievable lower bound* on the workload's
+//! worst-case completion time.
+//!
+//! Since the workload-aware refactor the planner is generic along three
+//! axes:
+//!
+//! * **state** — any [`SearchState`]: the full [`BroadcastState`] for the
+//!   broadcast / `k`-broadcast / gossip family, or a
+//!   [`TrackedSearchState`] whose tracked holder rows step through the
+//!   batched `BoolMatrix::compose_prefix_into` kernel for `k`-source
+//!   workloads;
+//! * **objective** — any [`Objective`]; candidate rounds are ranked by
+//!   `(lookahead score, immediate score)`, so `width = 1` at `lookahead =
+//!   0` replays greedy descent step for step (for objectives whose score
+//!   is dominated by workload completion);
+//! * **workload** — any [`Workload`]; its termination predicate decides
+//!   which successor states are dead ends.
+//!
+//! [`BeamOptions::lookahead`] adds a depth-`d` scorer: each candidate's
+//! successor is expanded `d` more rounds through the candidate pool
+//! (tracked states ride `compose_prefix_into` for every expansion) and
+//! ranked by the best [`Objective::state_rank`] any continuation reaches —
+//! `d = 0` reproduces the pre-refactor one-step scorer exactly.
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashSet;
-use std::hash::{Hash, Hasher};
+use std::collections::{hash_map, HashMap, HashSet};
+use std::rc::Rc;
 
-use treecast_core::{BroadcastState, SequenceSource, TreeSource};
+use treecast_core::{Broadcast, BroadcastState, SequenceSource, SourceSet, TreeSource, Workload};
 use treecast_trees::RootedTree;
 
 use crate::candidates::CandidateGen;
-use crate::survival::survival_rank;
+use crate::objectives::Objective;
+use crate::search_state::{SearchState, TrackedSearchState};
+use crate::survival::SurvivalObjective;
 
 /// Beam search configuration.
 #[derive(Debug, Clone, Copy)]
@@ -24,14 +47,23 @@ pub struct BeamOptions {
     /// Safety cap on schedule length (defaults to `4n + 8` in
     /// [`BeamOptions::for_n`]).
     pub max_rounds: u64,
+    /// Lookahead depth of the candidate scorer: each successor is expanded
+    /// this many further rounds and ranked by the best
+    /// [`Objective::state_rank`] it can still reach. `0` (the default)
+    /// scores successors directly — the pre-refactor behavior. Cost is
+    /// `|pool|^lookahead` extra state applications per candidate; keep it
+    /// ≤ 2 on structured pools.
+    pub lookahead: u32,
 }
 
 impl BeamOptions {
-    /// Default options for an `n`-process plan: width 48, cap `4n + 8`.
+    /// Default options for an `n`-process plan: width 48, cap `4n + 8`,
+    /// no lookahead.
     pub fn for_n(n: usize) -> Self {
         BeamOptions {
             width: 48,
             max_rounds: 4 * n as u64 + 8,
+            lookahead: 0,
         }
     }
 
@@ -45,30 +77,240 @@ impl BeamOptions {
         self.width = width;
         self
     }
-}
 
-#[derive(Clone)]
-struct Entry {
-    state: BroadcastState,
-    schedule: Vec<RootedTree>,
-}
-
-fn state_fingerprint(state: &BroadcastState) -> u64 {
-    let mut h = DefaultHasher::new();
-    for y in 0..state.n() {
-        state.heard_set(y).words().hash(&mut h);
+    /// Replaces the lookahead depth.
+    pub fn with_lookahead(mut self, lookahead: u32) -> Self {
+        self.lookahead = lookahead;
+        self
     }
-    h.finish()
 }
 
-/// Beam-key: the survival rank (forced-root conflicts, deficit-1/2
-/// counts, max reach, edges) — see [`crate::survival::survival_rank`].
-fn score(state: &BroadcastState) -> u64 {
-    survival_rank(state)
+/// Candidate rank: `(lookahead score, immediate objective score)`.
+/// Insertion order breaks remaining ties (stable sort), matching greedy's
+/// first-minimum rule.
+type ScoreKey = (u64, u64);
+
+/// A persistent schedule suffix: beam entries share their common prefix
+/// instead of cloning whole `Vec<RootedTree>` schedules every round (the
+/// pre-refactor planner's hidden quadratic cost over long horizons —
+/// dead branches drop their `Rc` chains automatically).
+struct Link {
+    tree: RootedTree,
+    prev: Option<Rc<Link>>,
 }
 
-/// Plans a schedule for `n` processes that stays broadcast-free as long as
-/// the beam can manage, then ends with one forced round.
+fn extend(prev: &Option<Rc<Link>>, tree: RootedTree) -> Option<Rc<Link>> {
+    Some(Rc::new(Link {
+        tree,
+        prev: prev.clone(),
+    }))
+}
+
+fn collect_schedule(link: &Option<Rc<Link>>) -> Vec<RootedTree> {
+    let mut out = Vec::new();
+    let mut cursor = link.as_deref();
+    while let Some(l) = cursor {
+        out.push(l.tree.clone());
+        cursor = l.prev.as_deref();
+    }
+    out.reverse();
+    out
+}
+
+struct Entry<S> {
+    state: S,
+    schedule: Option<Rc<Link>>,
+    key: ScoreKey,
+    fingerprint: u64,
+}
+
+/// Best [`Objective::state_rank`] reachable from `state` in `depth` more
+/// rounds; workload-complete states are dead lines and rank worst.
+fn lookahead_rank<S, P, O, W>(
+    state: &S,
+    pool: &mut P,
+    objective: &O,
+    workload: &W,
+    depth: u32,
+) -> u64
+where
+    S: SearchState,
+    P: CandidateGen + ?Sized,
+    O: Objective<S> + ?Sized,
+    W: Workload + ?Sized,
+{
+    if workload.is_complete(&state.progress()) {
+        return u64::MAX;
+    }
+    if depth == 0 {
+        return objective.state_rank(state);
+    }
+    let mut best = u64::MAX;
+    // One probe per recursion level, reused across the candidates of that
+    // level (mirrors the main loop's clone_from buffer reuse).
+    let mut next = state.clone();
+    for tree in pool.candidates(state.full_view()) {
+        next.clone_from(state);
+        next.apply_tree(&tree);
+        best = best.min(lookahead_rank(&next, pool, objective, workload, depth - 1));
+    }
+    best
+}
+
+/// Plans a schedule from `start` that keeps `workload` incomplete as long
+/// as the beam can manage, then ends with one forced round.
+///
+/// Replayed from a fresh state, the schedule completes the workload at
+/// exactly `schedule.len()` rounds (the last round is the first complete
+/// one), unless the `max_rounds` cap cut planning short — which is the
+/// *expected* outcome for the provably divergent variants (`k ≥ 2`
+/// broadcast and gossip under unrestricted trees).
+///
+/// With `options.width == 1` and `options.lookahead == 0` the planner
+/// replays greedy descent under `objective` step for step, provided the
+/// objective ranks every workload-completing round above every surviving
+/// one (true for the completion-dominated measures [`crate::MinMaxReach`]
+/// and [`crate::MinDisseminated`]).
+///
+/// # Examples
+///
+/// ```
+/// use treecast_adversary::{beam_search_workload_plan, BeamOptions, MinDisseminated,
+///     StructuredPool};
+/// use treecast_core::{run_workload, BroadcastState, KBroadcast, SequenceSource,
+///     SimulationConfig, WorkloadOutcome};
+///
+/// // A 2-broadcast beam stalls the run for the whole planning horizon.
+/// let n = 8;
+/// let plan = beam_search_workload_plan(
+///     &BroadcastState::new(n),
+///     &mut StructuredPool::new(),
+///     &MinDisseminated::default(),
+///     &KBroadcast::new(2),
+///     BeamOptions::for_n(n).with_width(4),
+/// );
+/// let mut replay = SequenceSource::new(plan);
+/// let report = run_workload(n, &mut replay, &KBroadcast::new(2), SimulationConfig::for_n(n));
+/// assert_eq!(report.outcome, WorkloadOutcome::RoundLimit);
+/// ```
+pub fn beam_search_workload_plan<S, P, O, W>(
+    start: &S,
+    pool: &mut P,
+    objective: &O,
+    workload: &W,
+    options: BeamOptions,
+) -> Vec<RootedTree>
+where
+    S: SearchState,
+    P: CandidateGen + ?Sized,
+    O: Objective<S> + ?Sized,
+    W: Workload + ?Sized,
+{
+    if workload.is_complete(&start.progress()) {
+        // Already complete (n == 1, or a vacuous threshold): an empty
+        // schedule is not allowed by SequenceSource, so emit one tree.
+        return pool
+            .candidates(start.full_view())
+            .into_iter()
+            .take(1)
+            .collect();
+    }
+    let mut beam = vec![Entry {
+        state: start.clone(),
+        schedule: None,
+        key: (0, 0),
+        fingerprint: start.fingerprint(),
+    }];
+    // The best workload-completing move seen in the current generation;
+    // only used when no successor survives. Ties keep the first seen
+    // (greedy's rule). Under the survival scorer every completing state
+    // ranks exactly u64::MAX, so all completing moves tie and the legacy
+    // first-seen behavior is preserved verbatim; objectives with finer
+    // completion scores deliberately pick the least-bad finish instead.
+    let mut best_full: Option<(ScoreKey, Option<Rc<Link>>)> = None;
+    // One probe state reused for every candidate expansion: `clone_from`
+    // recycles flat buffers where the state supports it, so only
+    // candidates that survive the witness check pay a full clone.
+    let mut probe = start.clone();
+
+    for _round in 0..options.max_rounds {
+        let mut next: Vec<Entry<S>> = Vec::new();
+        // Best key pushed so far per state fingerprint: a candidate whose
+        // state is already represented at an equal-or-better key would be
+        // dropped by the post-sort dedup anyway (equal keys keep the first
+        // seen), so it can skip the state clone entirely. Structured pools
+        // produce many duplicate successors on symmetric states, making
+        // this the planner's main allocation saver.
+        let mut best_pushed: HashMap<u64, ScoreKey> = HashMap::new();
+        for entry in &beam {
+            for tree in pool.candidates(entry.state.full_view()) {
+                probe.clone_from(&entry.state);
+                probe.apply_tree(&tree);
+                let immediate = objective.score_state(&entry.state, &tree, &probe);
+                if workload.is_complete(&probe.progress()) {
+                    let key = (u64::MAX, immediate);
+                    if best_full.as_ref().map(|(k, _)| key < *k).unwrap_or(true) {
+                        best_full = Some((key, extend(&entry.schedule, tree)));
+                    }
+                    continue;
+                }
+                let future = if options.lookahead == 0 {
+                    0
+                } else {
+                    lookahead_rank(&probe, pool, objective, workload, options.lookahead)
+                };
+                let key = (future, immediate);
+                let fingerprint = probe.fingerprint();
+                match best_pushed.entry(fingerprint) {
+                    hash_map::Entry::Occupied(mut seen) if *seen.get() > key => {
+                        seen.insert(key);
+                    }
+                    hash_map::Entry::Occupied(_) => continue,
+                    hash_map::Entry::Vacant(slot) => {
+                        slot.insert(key);
+                    }
+                }
+                next.push(Entry {
+                    state: probe.clone(),
+                    schedule: extend(&entry.schedule, tree),
+                    key,
+                    fingerprint,
+                });
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        // Stable sort, then dedup keeping the best-ranked representative
+        // of each state (which, among equal keys, is the first seen).
+        next.sort_by_key(|e| e.key);
+        let mut seen: HashSet<u64> = HashSet::new();
+        next.retain(|e| seen.insert(e.fingerprint));
+        next.truncate(options.width);
+        // Any survivor dominates earlier forced finishes.
+        best_full = None;
+        beam = next;
+    }
+
+    // Finish the best line with one more (forced or arbitrary) round.
+    if let Some((_, schedule)) = best_full {
+        return collect_schedule(&schedule);
+    }
+    let best = beam.into_iter().next().expect("beam is never empty");
+    let mut schedule = collect_schedule(&best.schedule);
+    // Cap hit with survivors: append one closing candidate so the schedule
+    // is replayable end-to-end (may not complete instantly; the engine's
+    // repeat-last semantics finishes or caps the run).
+    if let Some(t) = pool.candidates(best.state.full_view()).into_iter().next() {
+        schedule.push(t);
+    }
+    schedule
+}
+
+/// Plans a single-source broadcast schedule for `n` processes — the
+/// classic entry point, now a thin wrapper over
+/// [`beam_search_workload_plan`] with the [`Broadcast`] workload and the
+/// survival scorer.
 ///
 /// The returned schedule replayed from the identity state broadcasts at
 /// exactly `schedule.len()` rounds (the last round is the first with a
@@ -91,105 +333,98 @@ pub fn beam_search_plan<P: CandidateGen + ?Sized>(
     pool: &mut P,
     options: BeamOptions,
 ) -> Vec<RootedTree> {
-    let root = Entry {
-        state: BroadcastState::new(n),
-        schedule: Vec::new(),
-    };
-    if root.state.broadcast_witness().is_some() {
-        // n == 1: already broadcast; an empty schedule is not allowed by
-        // SequenceSource, so emit one tree.
-        return pool.candidates(&root.state).into_iter().take(1).collect();
-    }
-    let mut beam = vec![root];
-    let mut last_full_entry: Option<(Entry, RootedTree)> = None;
-    // One probe state reused for every candidate expansion: `clone_from`
-    // recycles the flat heard-matrix buffer, so only candidates that
-    // survive dedup and the witness check pay an allocation.
-    let mut probe = BroadcastState::new(n);
-
-    for _round in 0..options.max_rounds {
-        let mut next: Vec<Entry> = Vec::new();
-        let mut seen: HashSet<u64> = HashSet::new();
-        for entry in &beam {
-            for tree in pool.candidates(&entry.state) {
-                probe.clone_from(&entry.state);
-                probe.apply(&tree);
-                if probe.broadcast_witness().is_some() {
-                    // Remember one completing move in case nothing survives.
-                    if last_full_entry.is_none() {
-                        last_full_entry = Some((entry.clone(), tree));
-                    }
-                    continue;
-                }
-                if seen.insert(state_fingerprint(&probe)) {
-                    let mut schedule = entry.schedule.clone();
-                    schedule.push(tree);
-                    next.push(Entry {
-                        state: probe.clone(),
-                        schedule,
-                    });
-                }
-            }
-        }
-        if next.is_empty() {
-            break;
-        }
-        next.sort_by_key(|e| score(&e.state));
-        next.truncate(options.width);
-        // Any survivor dominates earlier forced finishes.
-        last_full_entry = None;
-        beam = next;
-    }
-
-    // Finish the best line with one more (forced or arbitrary) round.
-    if let Some((entry, tree)) = last_full_entry {
-        let mut schedule = entry.schedule;
-        schedule.push(tree);
-        return schedule;
-    }
-    let best = beam
-        .into_iter()
-        .min_by_key(|e| score(&e.state))
-        .expect("beam is never empty");
-    let mut schedule = best.schedule;
-    // Cap hit with survivors: append one closing candidate so the schedule
-    // is replayable end-to-end (may not broadcast instantly; the engine's
-    // repeat-last semantics finishes the run).
-    if let Some(t) = pool.candidates(&best.state).into_iter().next() {
-        schedule.push(t);
-    }
-    schedule
+    beam_search_workload_plan(
+        &BroadcastState::new(n),
+        pool,
+        &SurvivalObjective,
+        &Broadcast,
+        options,
+    )
 }
 
 /// [`TreeSource`] wrapper that lazily beam-plans on first use and then
 /// replays the plan.
-pub struct BeamSearchAdversary<P> {
+///
+/// The default type parameters recover the classic broadcast beam
+/// ([`BeamSearchAdversary::new`]); [`BeamSearchAdversary::for_workload`]
+/// plans against any [`Workload`] under any [`Objective`], picking the
+/// search state from the workload's [`SourceSet`]: all-source workloads
+/// plan over the full [`BroadcastState`], `k`-source workloads over the
+/// batched [`TrackedSearchState`].
+pub struct BeamSearchAdversary<P, O = SurvivalObjective, W = Broadcast> {
     pool: P,
+    objective: O,
+    workload: W,
     width: usize,
+    lookahead: u32,
     replay: Option<SequenceSource>,
 }
 
 impl<P: CandidateGen> BeamSearchAdversary<P> {
-    /// Beam adversary over `pool` with the given beam width.
+    /// Broadcast beam adversary over `pool` with the given beam width and
+    /// the survival scorer — the classic configuration.
     ///
     /// # Panics
     ///
     /// Panics if `width == 0`.
     pub fn new(pool: P, width: usize) -> Self {
-        assert!(width > 0, "beam width must be positive");
-        BeamSearchAdversary {
-            pool,
-            width,
-            replay: None,
-        }
+        Self::for_workload(pool, SurvivalObjective, Broadcast, width)
     }
 }
 
-impl<P: CandidateGen> TreeSource for BeamSearchAdversary<P> {
+impl<P: CandidateGen, O, W: Workload> BeamSearchAdversary<P, O, W> {
+    /// Beam adversary planning against `workload` under `objective`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn for_workload(pool: P, objective: O, workload: W, width: usize) -> Self {
+        assert!(width > 0, "beam width must be positive");
+        BeamSearchAdversary {
+            pool,
+            objective,
+            workload,
+            width,
+            lookahead: 0,
+            replay: None,
+        }
+    }
+
+    /// Sets the lookahead depth of the planner.
+    pub fn with_lookahead(mut self, lookahead: u32) -> Self {
+        self.lookahead = lookahead;
+        self
+    }
+}
+
+impl<P, O, W> TreeSource for BeamSearchAdversary<P, O, W>
+where
+    P: CandidateGen,
+    O: Objective<BroadcastState> + Objective<TrackedSearchState>,
+    W: Workload,
+{
     fn next_tree(&mut self, state: &BroadcastState) -> RootedTree {
         if self.replay.is_none() {
-            let options = BeamOptions::for_n(state.n()).with_width(self.width);
-            let plan = beam_search_plan(state.n(), &mut self.pool, options);
+            let n = state.n();
+            let options = BeamOptions::for_n(n)
+                .with_width(self.width)
+                .with_lookahead(self.lookahead);
+            let plan = match self.workload.sources(n) {
+                SourceSet::All => beam_search_workload_plan(
+                    &BroadcastState::new(n),
+                    &mut self.pool,
+                    &self.objective,
+                    &self.workload,
+                    options,
+                ),
+                SourceSet::Nodes(sources) => beam_search_workload_plan(
+                    &TrackedSearchState::new(n, &sources),
+                    &mut self.pool,
+                    &self.objective,
+                    &self.workload,
+                    options,
+                ),
+            };
             self.replay = Some(SequenceSource::new(plan));
         }
         self.replay
@@ -199,7 +434,13 @@ impl<P: CandidateGen> TreeSource for BeamSearchAdversary<P> {
     }
 
     fn name(&self) -> String {
-        format!("beam(w={}, {})", self.width, self.pool.name())
+        format!(
+            "beam(w={}, d={}, {}, {})",
+            self.width,
+            self.lookahead,
+            self.workload.name(),
+            self.pool.name()
+        )
     }
 }
 
@@ -207,9 +448,12 @@ impl<P: CandidateGen> TreeSource for BeamSearchAdversary<P> {
 mod tests {
     use super::*;
     use crate::candidates::StructuredPool;
-    use crate::objectives::MinMaxReach;
+    use crate::objectives::{MinDisseminated, MinMaxReach};
     use crate::strategies::GreedyAdversary;
-    use treecast_core::{bounds, simulate, SimulationConfig};
+    use treecast_core::{
+        bounds, run_workload, simulate, Gossip, KBroadcast, KSourceBroadcast, SimulationConfig,
+        WorkloadOutcome,
+    };
 
     fn beam_time(n: usize, width: usize) -> u64 {
         let plan = beam_search_plan(
@@ -275,6 +519,7 @@ mod tests {
         assert!(t >= (n as u64) - 1);
         assert!(t <= bounds::upper_bound(n as u64));
         assert!(adv.name().contains("beam(w=16"));
+        assert!(adv.name().contains("broadcast"));
     }
 
     #[test]
@@ -289,5 +534,88 @@ mod tests {
         let narrow = beam_time(n, 4);
         let wide = beam_time(n, 64);
         assert!(wide + 1 >= narrow, "wide {wide} vs narrow {narrow}");
+    }
+
+    #[test]
+    fn variant_beam_stalls_two_broadcast() {
+        // The workload-aware beam must find the k ≥ 2 divergence: a
+        // 2-broadcast run under its plan never completes.
+        let n = 8;
+        let mut adv = BeamSearchAdversary::for_workload(
+            StructuredPool::new(),
+            MinDisseminated::default(),
+            KBroadcast::new(2),
+            4,
+        );
+        let report = run_workload(n, &mut adv, &KBroadcast::new(2), SimulationConfig::for_n(n));
+        assert_eq!(report.outcome, WorkloadOutcome::RoundLimit);
+        assert!(report.disseminated <= 1, "{report:?}");
+        assert!(adv.name().contains("k-broadcast(k=2)"));
+    }
+
+    #[test]
+    fn gossip_beam_is_no_faster_than_broadcast_beam() {
+        // Gossip needs every token out, so a gossip-delaying plan survives
+        // at least as long as the broadcast bound it contains.
+        let n = 8;
+        let plan = beam_search_workload_plan(
+            &BroadcastState::new(n),
+            &mut StructuredPool::new(),
+            &MinDisseminated::default(),
+            &Gossip,
+            BeamOptions::for_n(n).with_width(8),
+        );
+        let mut replay = SequenceSource::new(plan);
+        let report = run_workload(n, &mut replay, &Gossip, SimulationConfig::for_n(n));
+        match report.completion_time {
+            Some(t) => assert!(t >= report.broadcast_time.unwrap_or(0)),
+            None => assert_eq!(report.outcome, WorkloadOutcome::RoundLimit),
+        }
+    }
+
+    #[test]
+    fn tracked_beam_plans_k_source_workloads() {
+        // The k-source path plans over TrackedSearchState (batched holder
+        // rows); the plan must replay through run_workload and delay the
+        // tracked tokens at least as long as the static path delays them.
+        let n = 8;
+        let workload = KSourceBroadcast::evenly_spread(n, 2);
+        let mut adv = BeamSearchAdversary::for_workload(
+            StructuredPool::new(),
+            MinDisseminated::default(),
+            workload.clone(),
+            4,
+        );
+        let report = run_workload(n, &mut adv, &workload, SimulationConfig::for_n(n));
+        assert_eq!(report.tokens, 2);
+        match report.completion_time {
+            Some(t) => assert!(t >= (n as u64) - 1, "beam must not beat the path: {t}"),
+            None => assert_eq!(report.outcome, WorkloadOutcome::RoundLimit),
+        }
+    }
+
+    #[test]
+    fn lookahead_zero_matches_direct_scoring_and_deeper_stays_sane() {
+        let n = 8;
+        let base = beam_search_plan(
+            n,
+            &mut StructuredPool::new(),
+            BeamOptions::for_n(n).with_width(4),
+        );
+        let explicit_zero = beam_search_plan(
+            n,
+            &mut StructuredPool::new(),
+            BeamOptions::for_n(n).with_width(4).with_lookahead(0),
+        );
+        assert_eq!(base, explicit_zero);
+        let deeper = beam_search_plan(
+            n,
+            &mut StructuredPool::new(),
+            BeamOptions::for_n(n).with_width(4).with_lookahead(1),
+        );
+        let mut replay = SequenceSource::new(deeper);
+        let t = simulate(n, &mut replay, SimulationConfig::for_n(n)).broadcast_time_or_panic();
+        assert!(t >= (n as u64) - 1);
+        assert!(t <= bounds::upper_bound(n as u64));
     }
 }

@@ -12,7 +12,11 @@
 //! * **Search-based** — [`GreedyAdversary`] over pluggable [`Objective`]s
 //!   and [`CandidateGen`] pools, [`LookaheadAdversary`], and offline
 //!   [`beam_search_plan`] whose schedules replay as certified lower
-//!   bounds.
+//!   bounds. The whole stack is generic over [`SearchState`] — the full
+//!   [`treecast_core::BroadcastState`] or the batched
+//!   [`TrackedSearchState`] — so [`beam_search_workload_plan`] hunts
+//!   worst cases for any [`treecast_core::Workload`] (`k`-broadcast,
+//!   gossip, `k`-source) with optional depth-`d` lookahead.
 //! * **Restricted** — [`ExactLeafPool`] / [`ExactInnerPool`] reproduce the
 //!   Zeiner–Schwarz–Schmid `k`-leaves / `k`-inner-nodes adversaries
 //!   (Figure 1's restricted rows).
@@ -42,11 +46,12 @@ mod beam;
 mod candidates;
 pub mod gain;
 mod objectives;
+mod search_state;
 mod strategies;
 mod survival;
 pub mod tournament;
 
-pub use beam::{beam_search_plan, BeamOptions, BeamSearchAdversary};
+pub use beam::{beam_search_plan, beam_search_workload_plan, BeamOptions, BeamSearchAdversary};
 pub use candidates::{
     CandidateGen, CompositePool, ExactInnerPool, ExactLeafPool, ExhaustivePool, JitteredPool,
     SampledPool, StructuredPool,
@@ -54,6 +59,7 @@ pub use candidates::{
 pub use objectives::{
     MinDisseminated, MinMaxReach, MinNearWinners, MinNewEdges, MinSumReach, Objective,
 };
+pub use search_state::{SearchState, TrackedSearchState};
 pub use strategies::{
     FamilyRandomAdversary, FreezeLeaderAdversary, GreedyAdversary, LookaheadAdversary,
     UniformRandomAdversary,

@@ -1,40 +1,84 @@
-//! Progress measures the greedy adversary minimizes.
+//! Progress measures the search adversaries minimize.
 //!
 //! Each objective scores a candidate round tree against the current state;
-//! **lower scores delay broadcast longer** (the adversary picks the
+//! **lower scores delay the workload longer** (the adversary picks the
 //! minimum). The measures mirror the quantities the paper's matrix
 //! analysis tracks, and comparing them head-to-head is the objective
 //! ablation (experiment E10).
+//!
+//! Since the workload-aware search refactor every objective is generic
+//! over [`SearchState`]: scored against a [`BroadcastState`] it reads the
+//! full reach-weight vector (every node's token), scored against a
+//! [`crate::TrackedSearchState`] it reads only the tracked tokens' holder
+//! counts — the same formula, applied to exactly the tokens the workload
+//! cares about. All five measures are pure functions of the per-token
+//! holder-count vector the candidate round would leave.
 
 use treecast_bitmatrix::BitSet;
 use treecast_core::BroadcastState;
 use treecast_trees::RootedTree;
 
+use crate::search_state::SearchState;
+
 /// Scores candidate trees; smaller = slower progress = better for the
 /// adversary.
-pub trait Objective {
+///
+/// The default state parameter keeps the classic single-source API
+/// (`Objective` ≡ `Objective<BroadcastState>`); the search stack calls the
+/// generic form. [`Objective::score`] must not mutate anything;
+/// [`Objective::score_state`] is the same value computed from an
+/// already-applied successor (the beam search has one in hand), and
+/// [`Objective::state_rank`] is the tree-free leaf heuristic lookahead
+/// search bottoms out on.
+pub trait Objective<S: SearchState = BroadcastState> {
     /// The score of playing `tree` in `state`.
-    fn score(&self, state: &BroadcastState, tree: &RootedTree) -> u64;
+    fn score(&self, state: &S, tree: &RootedTree) -> u64;
+
+    /// The score of the round that turned `before` into `after` via
+    /// `tree`. Must equal `self.score(before, tree)`; override when the
+    /// successor state makes it cheaper to compute.
+    fn score_state(&self, before: &S, tree: &RootedTree, after: &S) -> u64 {
+        let _ = after;
+        self.score(before, tree)
+    }
+
+    /// Tree-free rank of a state (smaller = safer for the adversary) —
+    /// the leaf heuristic of depth-limited lookahead. The default is the
+    /// lexicographic `(max holder count, total holder count)` pair.
+    fn state_rank(&self, state: &S) -> u64 {
+        let (max, sum) = weight_stats(&state.token_weights());
+        (max << 32) | sum
+    }
 
     /// Short name used in reports and the ablation table.
     fn name(&self) -> &'static str;
 }
 
+/// `(max, sum)` of a holder-count vector, as `u64`s.
+fn weight_stats(weights: &[usize]) -> (u64, u64) {
+    let max = weights.iter().copied().max().unwrap_or(0) as u64;
+    let sum: u64 = weights.iter().map(|&w| w as u64).sum();
+    (max, sum)
+}
+
 /// Counts the edges the product graph would gain:
 /// `Σ_y |heard[parent(y)] \ heard[y]|` — the paper's strict-progress
-/// quantity, greedily kept at its floor of 1.
+/// quantity, greedily kept at its floor of 1. On a tracked state the sum
+/// runs over the tracked tokens only.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MinNewEdges;
 
-impl Objective for MinNewEdges {
-    fn score(&self, state: &BroadcastState, tree: &RootedTree) -> u64 {
-        let mut gained = 0u64;
-        for y in 0..state.n() {
-            if let Some(p) = tree.parent(y) {
-                gained += state.heard_set(p).difference_len(state.heard_set(y)) as u64;
-            }
-        }
-        gained
+impl<S: SearchState> Objective<S> for MinNewEdges {
+    fn score(&self, state: &S, tree: &RootedTree) -> u64 {
+        let (_, before) = weight_stats(&state.token_weights());
+        let (_, after) = weight_stats(&state.token_weights_after(tree));
+        after - before
+    }
+
+    fn score_state(&self, before: &S, _tree: &RootedTree, after: &S) -> u64 {
+        let (_, b) = weight_stats(&before.token_weights());
+        let (_, a) = weight_stats(&after.token_weights());
+        a - b
     }
 
     fn name(&self) -> &'static str {
@@ -42,18 +86,30 @@ impl Objective for MinNewEdges {
     }
 }
 
-/// Minimizes the largest reach set after the round (then total growth as a
-/// tie-break): directly attacks Definition 2.2, which needs one reach set
-/// to hit `n`.
+/// Minimizes the largest holder count after the round (then total growth
+/// as a tie-break): directly attacks Definition 2.2, which needs one reach
+/// set to hit `n`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MinMaxReach;
 
-impl Objective for MinMaxReach {
-    fn score(&self, state: &BroadcastState, tree: &RootedTree) -> u64 {
-        let (max_reach, sum_gain) = reach_after(state, tree);
-        // Lexicographic (max_reach, sum_gain) packed into one u64: the gain
-        // is bounded by n² < 2^32 for any practical n.
-        (max_reach << 32) | sum_gain
+impl MinMaxReach {
+    fn pack(before_sum: u64, after: &[usize]) -> u64 {
+        let (max, sum) = weight_stats(after);
+        // Lexicographic (max, gain) packed into one u64: the gain is
+        // bounded by n² < 2^32 for any practical n.
+        (max << 32) | (sum - before_sum)
+    }
+}
+
+impl<S: SearchState> Objective<S> for MinMaxReach {
+    fn score(&self, state: &S, tree: &RootedTree) -> u64 {
+        let (_, before) = weight_stats(&state.token_weights());
+        Self::pack(before, &state.token_weights_after(tree))
+    }
+
+    fn score_state(&self, before: &S, _tree: &RootedTree, after: &S) -> u64 {
+        let (_, b) = weight_stats(&before.token_weights());
+        Self::pack(b, &after.token_weights())
     }
 
     fn name(&self) -> &'static str {
@@ -61,15 +117,27 @@ impl Objective for MinMaxReach {
     }
 }
 
-/// Minimizes the total reach growth (equals [`MinNewEdges`] in value) but
-/// tie-breaks on max reach — the mirror image of [`MinMaxReach`].
+/// Minimizes the total holder growth (equals [`MinNewEdges`] in value) but
+/// tie-breaks on max holder count — the mirror image of [`MinMaxReach`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MinSumReach;
 
-impl Objective for MinSumReach {
-    fn score(&self, state: &BroadcastState, tree: &RootedTree) -> u64 {
-        let (max_reach, sum_gain) = reach_after(state, tree);
-        (sum_gain << 32) | max_reach
+impl MinSumReach {
+    fn pack(before_sum: u64, after: &[usize]) -> u64 {
+        let (max, sum) = weight_stats(after);
+        ((sum - before_sum) << 32) | max
+    }
+}
+
+impl<S: SearchState> Objective<S> for MinSumReach {
+    fn score(&self, state: &S, tree: &RootedTree) -> u64 {
+        let (_, before) = weight_stats(&state.token_weights());
+        Self::pack(before, &state.token_weights_after(tree))
+    }
+
+    fn score_state(&self, before: &S, _tree: &RootedTree, after: &S) -> u64 {
+        let (_, b) = weight_stats(&before.token_weights());
+        Self::pack(b, &after.token_weights())
     }
 
     fn name(&self) -> &'static str {
@@ -77,12 +145,13 @@ impl Objective for MinSumReach {
     }
 }
 
-/// Minimizes the number of *nearly full* reach sets (within `slack` of
-/// `n`), then max reach, then growth: a potential function that spreads
-/// progress away from all near-winners instead of only the single leader.
+/// Minimizes the number of *nearly full* holder sets (within `slack` of
+/// `n`), then max holder count, then total: a potential function that
+/// spreads progress away from all near-winners instead of only the single
+/// leader.
 #[derive(Debug, Clone, Copy)]
 pub struct MinNearWinners {
-    /// A reach set counts as "near winning" when its size is at least
+    /// A holder set counts as "near winning" when its size is at least
     /// `n − slack`.
     pub slack: usize,
 }
@@ -93,15 +162,22 @@ impl Default for MinNearWinners {
     }
 }
 
-impl Objective for MinNearWinners {
-    fn score(&self, state: &BroadcastState, tree: &RootedTree) -> u64 {
-        let n = state.n();
+impl MinNearWinners {
+    fn pack(&self, n: usize, after: &[usize]) -> u64 {
         let threshold = n.saturating_sub(self.slack);
-        let after = reach_weights_after(state, tree);
         let near = after.iter().filter(|&&w| w >= threshold).count() as u64;
-        let max = after.iter().copied().max().unwrap_or(0) as u64;
-        let sum: u64 = after.iter().map(|&w| w as u64).sum();
+        let (max, sum) = weight_stats(after);
         (near << 48) | (max << 32) | sum
+    }
+}
+
+impl<S: SearchState> Objective<S> for MinNearWinners {
+    fn score(&self, state: &S, tree: &RootedTree) -> u64 {
+        self.pack(state.n(), &state.token_weights_after(tree))
+    }
+
+    fn score_state(&self, before: &S, _tree: &RootedTree, after: &S) -> u64 {
+        self.pack(before.n(), &after.token_weights())
     }
 
     fn name(&self) -> &'static str {
@@ -109,10 +185,10 @@ impl Objective for MinNearWinners {
     }
 }
 
-/// Delays the *variant* workloads (`k`-broadcast, gossip): minimizes the
-/// number of disseminated tokens the round would leave (nodes whose reach
-/// set hits `n`), then near-disseminated tokens (within `slack` of `n`),
-/// then max reach, then total growth.
+/// Delays the *variant* workloads (`k`-broadcast, gossip, `k`-source):
+/// minimizes the number of disseminated tokens the round would leave
+/// (holder sets that hit `n`), then near-disseminated tokens (within
+/// `slack` of `n`), then max holder count, then total growth.
 ///
 /// This is [`MinNearWinners`] lifted to the workload lattice: where the
 /// broadcast adversary only has to keep the *first* token from fully
@@ -134,15 +210,12 @@ impl Default for MinDisseminated {
     }
 }
 
-impl Objective for MinDisseminated {
-    fn score(&self, state: &BroadcastState, tree: &RootedTree) -> u64 {
-        let n = state.n();
+impl MinDisseminated {
+    fn pack(&self, n: usize, after: &[usize]) -> u64 {
         let near_threshold = n.saturating_sub(self.slack);
-        let after = reach_weights_after(state, tree);
         let full = after.iter().filter(|&&w| w >= n).count() as u64;
         let near = after.iter().filter(|&&w| w >= near_threshold).count() as u64;
-        let max = after.iter().copied().max().unwrap_or(0) as u64;
-        let sum: u64 = after.iter().map(|&w| w as u64).sum();
+        let (max, sum) = weight_stats(after);
         // Lexicographic (full, near, max, sum) packed into one u64 with
         // saturating 12/12/20/20-bit fields. The leading three fields are
         // exact for n ≤ 4095; the last-resort sum tie-break (bounded by
@@ -150,6 +223,16 @@ impl Objective for MinDisseminated {
         // every search grid in the workspace sits well inside both.
         let sat = |v: u64, bits: u32| v.min((1u64 << bits) - 1);
         (sat(full, 12) << 52) | (sat(near, 12) << 40) | (sat(max, 20) << 20) | sat(sum, 20)
+    }
+}
+
+impl<S: SearchState> Objective<S> for MinDisseminated {
+    fn score(&self, state: &S, tree: &RootedTree) -> u64 {
+        self.pack(state.n(), &state.token_weights_after(tree))
+    }
+
+    fn score_state(&self, before: &S, _tree: &RootedTree, after: &S) -> u64 {
+        self.pack(before.n(), &after.token_weights())
     }
 
     fn name(&self) -> &'static str {
@@ -176,18 +259,10 @@ pub(crate) fn reach_weights_after(state: &BroadcastState, tree: &RootedTree) -> 
     weights
 }
 
-/// `(max reach after, total gain)` in one pass.
-fn reach_after(state: &BroadcastState, tree: &RootedTree) -> (u64, u64) {
-    let before: u64 = state.edge_count() as u64;
-    let after = reach_weights_after(state, tree);
-    let max = after.iter().copied().max().unwrap_or(0) as u64;
-    let sum: u64 = after.iter().map(|&w| w as u64).sum();
-    (max, sum - before)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::search_state::TrackedSearchState;
     use treecast_trees::generators;
 
     fn state_after(trees: &[RootedTree], n: usize) -> BroadcastState {
@@ -270,11 +345,11 @@ mod tests {
     #[test]
     fn names_are_distinct() {
         let names = [
-            MinNewEdges.name(),
-            MinMaxReach.name(),
-            MinSumReach.name(),
-            MinNearWinners::default().name(),
-            MinDisseminated::default().name(),
+            Objective::<BroadcastState>::name(&MinNewEdges),
+            Objective::<BroadcastState>::name(&MinMaxReach),
+            Objective::<BroadcastState>::name(&MinSumReach),
+            Objective::<BroadcastState>::name(&MinNearWinners::default()),
+            Objective::<BroadcastState>::name(&MinDisseminated::default()),
         ];
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());
@@ -311,5 +386,59 @@ mod tests {
         );
         assert_eq!(report.outcome, WorkloadOutcome::RoundLimit);
         assert_eq!(report.disseminated, 1, "{report:?}");
+    }
+
+    #[test]
+    fn score_state_agrees_with_score_on_both_states() {
+        // The successor-based form must compute the identical value —
+        // this is what lets the beam score its probes without re-predicting.
+        let n = 6;
+        let full = state_after(&[generators::path(n)], n);
+        let mut tracked = TrackedSearchState::new(n, &[0, 3]);
+        tracked.apply_tree(&generators::path(n));
+        for tree in [
+            generators::path(n),
+            generators::star(n),
+            generators::broom(n, 2),
+        ] {
+            macro_rules! check {
+                ($obj:expr) => {{
+                    let mut after = full.clone();
+                    after.apply(&tree);
+                    assert_eq!(
+                        $obj.score(&full, &tree),
+                        $obj.score_state(&full, &tree, &after),
+                        "full-state {} on {tree}",
+                        Objective::<BroadcastState>::name(&$obj)
+                    );
+                    let mut t_after = tracked.clone();
+                    t_after.apply_tree(&tree);
+                    assert_eq!(
+                        $obj.score(&tracked, &tree),
+                        $obj.score_state(&tracked, &tree, &t_after),
+                        "tracked {} on {tree}",
+                        Objective::<BroadcastState>::name(&$obj)
+                    );
+                }};
+            }
+            check!(MinNewEdges);
+            check!(MinMaxReach);
+            check!(MinSumReach);
+            check!(MinNearWinners::default());
+            check!(MinDisseminated::default());
+        }
+    }
+
+    #[test]
+    fn tracked_scores_ignore_untracked_tokens() {
+        // Disseminating an untracked token is free on a tracked state but
+        // costly on the full state: the tracked objective must not see it.
+        let n = 5;
+        let mut tracked = TrackedSearchState::new(n, &[2]);
+        tracked.apply_tree(&generators::path(n));
+        // A star centered at node 0 floods token 0 — untracked.
+        let star0 = generators::star(n);
+        let score = MinDisseminated::default().score(&tracked, &star0);
+        assert_eq!(score >> 52, 0, "untracked token 0 must not count as full");
     }
 }

@@ -24,21 +24,33 @@ use treecast_trees::{generators, NodeId, RootedTree};
 use crate::candidates::CandidateGen;
 use crate::gain::{deficits, edge_weights, missing_node, token_moves};
 use crate::objectives::Objective;
+use crate::search_state::SearchState;
 
 /// Scores the *state after* playing a candidate, lexicographically:
 /// broadcast ≫ conflicting deficit-1 missing nodes ≫ number of deficit-1
 /// tokens ≫ number of deficit ≤ 2 tokens ≫ max reach ≫ edges.
 ///
 /// Lower is better for the adversary; this is the one-step proxy for
-/// "rounds of survival left".
+/// "rounds of survival left". The objective is workload-generic like the
+/// rest of the family, but it always ranks the **full** product view
+/// ([`SearchState::full_view`]) — forced-root conflicts are a property of
+/// the whole heard-set matrix, not of any token subset.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SurvivalObjective;
 
-impl Objective for SurvivalObjective {
-    fn score(&self, state: &BroadcastState, tree: &RootedTree) -> u64 {
-        let mut after = state.clone();
+impl<S: SearchState> Objective<S> for SurvivalObjective {
+    fn score(&self, state: &S, tree: &RootedTree) -> u64 {
+        let mut after = state.full_view().clone();
         after.apply(tree);
         survival_rank(&after)
+    }
+
+    fn score_state(&self, _before: &S, _tree: &RootedTree, after: &S) -> u64 {
+        survival_rank(after.full_view())
+    }
+
+    fn state_rank(&self, state: &S) -> u64 {
+        survival_rank(state.full_view())
     }
 
     fn name(&self) -> &'static str {
@@ -340,6 +352,24 @@ mod tests {
 
     #[test]
     fn objective_name() {
-        assert_eq!(SurvivalObjective.name(), "survival");
+        assert_eq!(
+            Objective::<BroadcastState>::name(&SurvivalObjective),
+            "survival"
+        );
+    }
+
+    #[test]
+    fn score_state_and_state_rank_agree_with_score() {
+        let n = 6;
+        let mut state = BroadcastState::new(n);
+        state.apply(&generators::path(n));
+        let tree = generators::broom(n, 2);
+        let mut after = state.clone();
+        after.apply(&tree);
+        assert_eq!(
+            SurvivalObjective.score(&state, &tree),
+            SurvivalObjective.score_state(&state, &tree, &after)
+        );
+        assert_eq!(SurvivalObjective.state_rank(&after), survival_rank(&after));
     }
 }

@@ -1,0 +1,394 @@
+//! Shared pieces of the adversary-search benchmark report
+//! (`bench_adversary`): the deterministic beam-plan grid, the planning
+//! wall-time measurement, hand-rolled JSON rendering (no serde in the
+//! offline build), and the minimal parser the CI gate needs.
+//!
+//! The gate has two halves, mirroring the solver and workload gates:
+//!
+//! * **round counts** — every `(workload, objective, width, lookahead, n)`
+//!   cell is a deterministic offline beam plan replayed through
+//!   `run_workload`, so the recorded value is exact and any drift against
+//!   `results/BENCH_adversary_baseline.json` is a search-behavior change
+//!   that is *never* skipped;
+//! * **wall time** — the planning cost of one representative beam
+//!   configuration is gated at +25%, skippable via
+//!   `TREECAST_BENCH_GATE=off`.
+
+use std::time::Instant;
+
+use treecast_adversary::{
+    beam_search_plan, beam_search_workload_plan, BeamOptions, MinDisseminated, StructuredPool,
+    SurvivalObjective, TrackedSearchState,
+};
+use treecast_core::{
+    run_workload, Broadcast, BroadcastState, Gossip, KBroadcast, KSourceBroadcast, SequenceSource,
+    SimulationConfig, Workload,
+};
+
+/// Allowed slowdown of the planning wall time against the checked-in
+/// baseline before `bench_adversary --check` fails, in percent.
+pub const REGRESSION_HEADROOM_PERCENT: u32 = 25;
+
+/// One deterministic cell of the beam-plan grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanRound {
+    /// Workload name (`broadcast`, `k-broadcast(k=2)`, `gossip`, …).
+    pub workload: String,
+    /// Objective driving the search.
+    pub objective: String,
+    /// Beam width.
+    pub width: usize,
+    /// Lookahead depth.
+    pub lookahead: u32,
+    /// Network size.
+    pub n: usize,
+    /// Completion round of the replayed plan, or `None` when the capped
+    /// run did not complete (rendered as `-1`; the expected outcome for
+    /// the provably divergent variants).
+    pub rounds: Option<u64>,
+}
+
+/// The wall-time half of the report: one representative planning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanWallMeasurement {
+    /// Network size.
+    pub n: usize,
+    /// Beam width.
+    pub width: usize,
+    /// Best (minimum) wall time of one full planning call, ns.
+    pub ns_per_plan: f64,
+}
+
+/// The grid sizes. Small enough for debug CI, big enough that beam lines
+/// diverge between widths.
+pub const GRID_NS: [usize; 2] = [12, 16];
+
+/// The beam widths measured per cell.
+pub const GRID_WIDTHS: [usize; 2] = [1, 8];
+
+fn grid_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Broadcast),
+        Box::new(KBroadcast::new(2)),
+        Box::new(Gossip),
+    ]
+}
+
+/// Runs the full deterministic grid: the all-source workload lattice under
+/// `MinDisseminated` beams (both widths, plus one lookahead row), a
+/// survival-scored broadcast row, and a batched `k`-source row driving the
+/// `TrackedSearchState` path.
+pub fn measure_rounds() -> Vec<PlanRound> {
+    let mut rows = Vec::new();
+    for &n in &GRID_NS {
+        let cfg = SimulationConfig::for_n(n);
+        for workload in grid_workloads() {
+            for &width in &GRID_WIDTHS {
+                let mut options = BeamOptions::for_n(n).with_width(width);
+                options.max_rounds = cfg.max_rounds;
+                let plan = beam_search_workload_plan(
+                    &BroadcastState::new(n),
+                    &mut StructuredPool::new(),
+                    &MinDisseminated::default(),
+                    workload.as_ref(),
+                    options,
+                );
+                let mut replay = SequenceSource::new(plan);
+                let report = run_workload(n, &mut replay, workload.as_ref(), cfg);
+                rows.push(PlanRound {
+                    workload: workload.name(),
+                    objective: "min-disseminated".into(),
+                    width,
+                    lookahead: 0,
+                    n,
+                    rounds: report.completion_time,
+                });
+            }
+        }
+        // Depth-1 lookahead on broadcast — the scorer the refactor added.
+        let mut options = BeamOptions::for_n(n).with_width(4).with_lookahead(1);
+        options.max_rounds = cfg.max_rounds;
+        let plan = beam_search_workload_plan(
+            &BroadcastState::new(n),
+            &mut StructuredPool::new(),
+            &MinDisseminated::default(),
+            &Broadcast,
+            options,
+        );
+        let mut replay = SequenceSource::new(plan);
+        let report = run_workload(n, &mut replay, &Broadcast, cfg);
+        rows.push(PlanRound {
+            workload: "broadcast".into(),
+            objective: "min-disseminated".into(),
+            width: 4,
+            lookahead: 1,
+            n,
+            rounds: report.completion_time,
+        });
+        // Survival-scored broadcast (the classic beam) for continuity.
+        let plan = beam_search_plan(
+            n,
+            &mut StructuredPool::new(),
+            BeamOptions::for_n(n).with_width(8),
+        );
+        let mut replay = SequenceSource::new(plan);
+        let report = run_workload(n, &mut replay, &Broadcast, cfg);
+        rows.push(PlanRound {
+            workload: "broadcast".into(),
+            objective: "survival".into(),
+            width: 8,
+            lookahead: 0,
+            n,
+            rounds: report.completion_time,
+        });
+        // Batched k-source row: plans over TrackedSearchState.
+        let workload = KSourceBroadcast::evenly_spread(n, 2);
+        let mut options = BeamOptions::for_n(n).with_width(4);
+        options.max_rounds = cfg.max_rounds;
+        let plan = beam_search_workload_plan(
+            &TrackedSearchState::new(n, workload.sources()),
+            &mut StructuredPool::new(),
+            &MinDisseminated::default(),
+            &workload,
+            options,
+        );
+        let mut replay = SequenceSource::new(plan);
+        let report = run_workload(n, &mut replay, &workload, cfg);
+        rows.push(PlanRound {
+            workload: Workload::name(&workload),
+            objective: "min-disseminated".into(),
+            width: 4,
+            lookahead: 0,
+            n,
+            rounds: report.completion_time,
+        });
+    }
+    rows
+}
+
+/// Wall-time shape: a survival-scored broadcast plan at `WALL_N`
+/// processes, width `WALL_WIDTH` — the planning loop (probe `clone_from`,
+/// `score_state`, fingerprint dedup, Rc schedule chains) is the hot path.
+/// Kept at a few milliseconds per plan so the best-of-`samples` minimum
+/// only needs one quiet scheduling window on a loaded host.
+pub const WALL_N: usize = 24;
+/// See [`WALL_N`].
+pub const WALL_WIDTH: usize = 8;
+
+/// Best-of-`samples` wall time of one full planning call.
+pub fn measure_plan_wall(samples: usize) -> PlanWallMeasurement {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let started = Instant::now();
+        let plan = beam_search_workload_plan(
+            &BroadcastState::new(WALL_N),
+            &mut StructuredPool::new(),
+            &SurvivalObjective,
+            &Broadcast,
+            BeamOptions::for_n(WALL_N).with_width(WALL_WIDTH),
+        );
+        let elapsed = started.elapsed().as_nanos() as f64;
+        assert!(!plan.is_empty());
+        best = best.min(elapsed);
+    }
+    PlanWallMeasurement {
+        n: WALL_N,
+        width: WALL_WIDTH,
+        ns_per_plan: best,
+    }
+}
+
+/// Renders the two measurement halves as the `BENCH_adversary.json`
+/// document (line-oriented so [`parse_rounds`] / [`parse_ns_per_plan`]
+/// can read it back without a JSON dependency).
+pub fn render_report(rounds: &[PlanRound], wall: &PlanWallMeasurement) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"adversary\",\n");
+    out.push_str("  \"plans\": [\n");
+    for (i, r) in rounds.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"workload\": \"{}\",\n", r.workload));
+        out.push_str(&format!("      \"objective\": \"{}\",\n", r.objective));
+        out.push_str(&format!("      \"width\": {},\n", r.width));
+        out.push_str(&format!("      \"lookahead\": {},\n", r.lookahead));
+        out.push_str(&format!("      \"n\": {},\n", r.n));
+        out.push_str(&format!(
+            "      \"rounds\": {}\n",
+            r.rounds.map(|t| t as i64).unwrap_or(-1)
+        ));
+        out.push_str(if i + 1 == rounds.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"plan_wall\": {\n");
+    out.push_str(&format!("    \"n\": {},\n", wall.n));
+    out.push_str(&format!("    \"width\": {},\n", wall.width));
+    out.push_str(&format!("    \"ns_per_plan\": {:.1}\n", wall.ns_per_plan));
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Cell key: `(workload, objective, width, lookahead, n)`.
+pub type PlanKey = (String, String, usize, u32, usize);
+
+/// Extracts every plan cell from a [`render_report`] document as
+/// `(key, rounds)` tuples (`-1` = did not complete).
+pub fn parse_rounds(report: &str) -> Vec<(PlanKey, i64)> {
+    let mut out = Vec::new();
+    let mut lines = report.lines();
+    while let Some(line) = lines.next() {
+        let Some(workload) = field_str(line, "workload") else {
+            continue;
+        };
+        let objective = lines.next().and_then(|l| field_str(l, "objective"));
+        let width = lines.next().and_then(|l| field_num(l, "width"));
+        let lookahead = lines.next().and_then(|l| field_num(l, "lookahead"));
+        let n = lines.next().and_then(|l| field_num(l, "n"));
+        let rounds = lines.next().and_then(|l| field_num(l, "rounds"));
+        if let (Some(objective), Some(width), Some(lookahead), Some(n), Some(rounds)) =
+            (objective, width, lookahead, n, rounds)
+        {
+            out.push((
+                (
+                    workload,
+                    objective,
+                    width as usize,
+                    lookahead as u32,
+                    n as usize,
+                ),
+                rounds,
+            ));
+        }
+    }
+    out
+}
+
+/// Extracts the planning `ns_per_plan` from a [`render_report`] document.
+pub fn parse_ns_per_plan(report: &str) -> Option<f64> {
+    report.lines().find_map(|line| {
+        line.trim()
+            .strip_prefix("\"ns_per_plan\": ")
+            .and_then(|v| v.trim_end_matches(',').parse().ok())
+    })
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    line.trim()
+        .strip_prefix(&format!("\"{key}\": \""))
+        .map(|rest| {
+            rest.trim_end_matches("\",")
+                .trim_end_matches('"')
+                .to_string()
+        })
+}
+
+fn field_num(line: &str, key: &str) -> Option<i64> {
+    line.trim()
+        .strip_prefix(&format!("\"{key}\": "))
+        .and_then(|v| v.trim_end_matches(',').parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Vec<PlanRound>, PlanWallMeasurement) {
+        (
+            vec![
+                PlanRound {
+                    workload: "broadcast".into(),
+                    objective: "min-disseminated".into(),
+                    width: 8,
+                    lookahead: 0,
+                    n: 12,
+                    rounds: Some(11),
+                },
+                PlanRound {
+                    workload: "gossip".into(),
+                    objective: "min-disseminated".into(),
+                    width: 1,
+                    lookahead: 0,
+                    n: 12,
+                    rounds: None,
+                },
+            ],
+            PlanWallMeasurement {
+                n: 32,
+                width: 16,
+                ns_per_plan: 123456.5,
+            },
+        )
+    }
+
+    #[test]
+    fn report_roundtrips_through_parser() {
+        let (rounds, wall) = sample();
+        let doc = render_report(&rounds, &wall);
+        let parsed = parse_rounds(&doc);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(
+            parsed[0],
+            (
+                ("broadcast".into(), "min-disseminated".into(), 8, 0, 12),
+                11
+            )
+        );
+        assert_eq!(parsed[1].1, -1, "capped runs render as -1");
+        assert_eq!(parse_ns_per_plan(&doc), Some(123456.5));
+    }
+
+    #[test]
+    fn report_is_json_shaped() {
+        let (rounds, wall) = sample();
+        let doc = render_report(&rounds, &wall);
+        assert!(doc.starts_with("{\n"));
+        assert!(doc.ends_with("}\n"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert!(!doc.contains(",\n  ]"));
+        assert!(!doc.contains(",\n    }"));
+    }
+
+    #[test]
+    fn grid_is_deterministic() {
+        // Two measurements of one cell must agree exactly — this is what
+        // lets ci.sh enforce round counts with zero tolerance.
+        let run = || {
+            let n = 12;
+            let plan = beam_search_workload_plan(
+                &BroadcastState::new(n),
+                &mut StructuredPool::new(),
+                &MinDisseminated::default(),
+                &KBroadcast::new(2),
+                BeamOptions::for_n(n).with_width(8),
+            );
+            let mut replay = SequenceSource::new(plan);
+            run_workload(
+                n,
+                &mut replay,
+                &KBroadcast::new(2),
+                SimulationConfig::for_n(12),
+            )
+            .completion_time
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn grid_covers_widths_objectives_and_tracked_rows() {
+        let rows = measure_rounds();
+        assert!(rows.iter().any(|r| r.width == 1));
+        assert!(rows.iter().any(|r| r.width == 8));
+        assert!(rows.iter().any(|r| r.lookahead == 1));
+        assert!(rows.iter().any(|r| r.objective == "survival"));
+        assert!(rows.iter().any(|r| r.workload.contains("k-source")));
+        // Broadcast cells always complete; the divergent variants cap.
+        for r in &rows {
+            if r.workload == "broadcast" {
+                assert!(r.rounds.is_some(), "{r:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Adversary-search measurement harness: replays the deterministic beam
+//! plan grid, times one representative planning run, and emits
+//! `results/BENCH_adversary.json`.
+//!
+//! ```text
+//! cargo run --release -p treecast-bench --bin bench_adversary
+//! cargo run --release -p treecast-bench --bin bench_adversary -- \
+//!     --check results/BENCH_adversary_baseline.json   # CI gate
+//! ```
+//!
+//! With `--check <baseline>` the run exits nonzero if (a) any grid cell's
+//! achieved round count differs from the baseline — a search-behavior gate
+//! that is never skipped — or (b) planning is more than 25% slower
+//! (skippable via `TREECAST_BENCH_GATE=off` for unsuitable hosts).
+
+use treecast_bench::adversarybench::{
+    measure_plan_wall, measure_rounds, parse_ns_per_plan, parse_rounds, render_report,
+    REGRESSION_HEADROOM_PERCENT,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_baseline = args.iter().position(|a| a == "--check").map(|i| {
+        args.get(i + 1)
+            .expect("--check needs a baseline path")
+            .clone()
+    });
+
+    println!("running the deterministic beam-plan grid...");
+    let rounds = measure_rounds();
+    for r in &rounds {
+        println!(
+            "  {:<22} {:<18} w={:<2} d={} n={:<3} rounds={}",
+            r.workload,
+            r.objective,
+            r.width,
+            r.lookahead,
+            r.n,
+            r.rounds
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| ">cap".into())
+        );
+    }
+
+    let wall = measure_plan_wall(25);
+    println!(
+        "plan_wall n={} w={}: {:.2} ms/plan",
+        wall.n,
+        wall.width,
+        wall.ns_per_plan / 1e6
+    );
+
+    let report = render_report(&rounds, &wall);
+    let out_path = std::path::Path::new("results/BENCH_adversary.json");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(out_path, &report).expect("write BENCH_adversary.json");
+    println!("wrote {}", out_path.display());
+
+    let Some(baseline_path) = check_baseline else {
+        return;
+    };
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+
+    // Half 1: exact round counts, never skipped.
+    let current = parse_rounds(&report);
+    let mut failures = 0usize;
+    for (key, base_rounds) in parse_rounds(&baseline) {
+        match current.iter().find(|(k, _)| *k == key) {
+            Some((_, now)) if *now == base_rounds => {}
+            Some((_, now)) => {
+                eprintln!(
+                    "ROUND MISMATCH: {key:?} measured {now}, baseline {base_rounds} \
+                     (exact gate, no tolerance)"
+                );
+                failures += 1;
+            }
+            None => {
+                eprintln!("ROUND MISSING: baseline cell {key:?} not measured");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!(
+        "gate ok: all {} plan round counts match the baseline exactly",
+        current.len()
+    );
+
+    // Half 2: wall time, +25%, skippable.
+    if std::env::var("TREECAST_BENCH_GATE").as_deref() == Ok("off") {
+        println!("TREECAST_BENCH_GATE=off: skipping the wall-time gate");
+        return;
+    }
+    let base_ns = parse_ns_per_plan(&baseline)
+        .unwrap_or_else(|| panic!("baseline {baseline_path} has no plan_wall entry"));
+    let limit = base_ns * (100.0 + f64::from(REGRESSION_HEADROOM_PERCENT)) / 100.0;
+    if wall.ns_per_plan > limit {
+        eprintln!(
+            "REGRESSION: planning took {:.2} ms, baseline {:.2} ms \
+             (+{REGRESSION_HEADROOM_PERCENT}% limit {:.2} ms)",
+            wall.ns_per_plan / 1e6,
+            base_ns / 1e6,
+            limit / 1e6
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "gate ok: planning {:.2} ms within +{REGRESSION_HEADROOM_PERCENT}% of baseline {:.2} ms",
+        wall.ns_per_plan / 1e6,
+        base_ns / 1e6
+    );
+}

@@ -5,7 +5,7 @@
 //! ```
 //!
 //! `<id>` is one of `fig1 thm31 sanity restricted cfn fnw exact evolution
-//! gossip ablation variants all`. Quick grids are the default; `--full` switches to
+//! gossip ablation variants adversarial all`. Quick grids are the default; `--full` switches to
 //! the paper-scale grids. Tables print to stdout and are
 //! written as CSV under `--out` (default `results/`).
 

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarybench;
 pub mod composebench;
 pub mod experiments;
 pub mod solverbench;

@@ -22,6 +22,10 @@
 //! * [`Workload`] / [`run_workload`] — the companion paper's variant
 //!   workloads (arXiv:2211.10151): `k`-broadcast, all-to-all gossip, and
 //!   batched token-subset dissemination ([`TrackedTokens`]);
+//! * [`scenario`] / [`run_workload_faulty`] — the fault layer over the
+//!   workload lattice (token loss, dynamic root reassignment, node
+//!   dropout/rejoin), every run replayable from its recorded
+//!   [`WorkloadReport::fault_log`];
 //! * [`MetricsRecorder`] — the matrix-evolution quantities of the paper's
 //!   Section 3 analysis, observable round by round;
 //! * [`CertObserver`] / [`cert::check_theorem`] — runtime certificates for
@@ -52,6 +56,7 @@ pub mod cert;
 mod engine;
 pub mod metrics;
 mod model;
+pub mod scenario;
 pub mod workload;
 
 pub use cert::{CertObserver, TheoremVerdict, Violation};
@@ -61,6 +66,10 @@ pub use engine::{
 };
 pub use metrics::{MetricsRecorder, RoundMetrics};
 pub use model::BroadcastState;
+pub use scenario::{
+    run_workload_faulty, run_workload_faulty_traced, FaultModel, FaultSchedule, NoFaults,
+    RotatingRoot, RoundFaults, SeededFaults,
+};
 pub use workload::{
     run_workload, Broadcast, Gossip, KBroadcast, KSourceBroadcast, SourceSet, TrackedTokens,
     Workload, WorkloadOutcome, WorkloadProgress, WorkloadReport,

@@ -294,6 +294,25 @@ impl BroadcastState {
         self.round += 1;
     }
 
+    /// Token-loss fault: node `y` forgets everything it has heard except
+    /// its own token (`heard[y] := {y}`).
+    ///
+    /// This deliberately breaks the monotone-growth invariant of the
+    /// fault-free model — it is the scenario layer's primitive
+    /// ([`crate::scenario`]), not part of the paper's Definition 2.1
+    /// semantics. The round counter is unchanged (a loss happens *within*
+    /// a round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y >= n`.
+    pub fn forget(&mut self, y: NodeId) {
+        assert!(y < self.n, "node {} out of range for n = {}", y, self.n);
+        let mut row = self.heard.row_mut(y);
+        row.clear();
+        row.insert(y);
+    }
+
     /// The product graph `G(t)` as a matrix (row `x` = reach set of `x`).
     pub fn product_matrix(&self) -> BoolMatrix {
         self.heard.transpose()
@@ -490,6 +509,24 @@ mod tests {
             assert!(before.is_submatrix_of(&after), "monotonicity violated");
             assert!(s.edge_count() >= prev_edges);
             prev_edges = s.edge_count();
+        }
+    }
+
+    #[test]
+    fn forget_resets_one_heard_row() {
+        let n = 5;
+        let mut s = BroadcastState::new(n);
+        s.apply(&generators::star(n));
+        assert!(s.broadcast_witness().is_some());
+        for y in 1..n {
+            s.forget(y);
+        }
+        // Everyone except the center is back to knowing only themselves.
+        assert!(s.broadcast_witness().is_none());
+        assert_eq!(s.edge_count(), n);
+        // Forgetting preserves the node's own token.
+        for y in 0..n {
+            assert!(s.heard_set(y).contains(y));
         }
     }
 

@@ -1,0 +1,624 @@
+//! The fault/scenario layer over [`run_workload`]: token loss, dynamic
+//! root reassignment, and node dropout/rejoin.
+//!
+//! The paper's model gives the adversary the round topology but guarantees
+//! perfect memory, a fixed root role per tree, and full participation.
+//! Schwarz, Zeiner & Schmid (arXiv:1701.06800) show dissemination bounds
+//! shift qualitatively once such guarantees weaken — this module makes the
+//! weakened scenarios executable on top of the [`Workload`] lattice:
+//!
+//! * **token loss** — at the end of a round, a faulty node forgets every
+//!   token it has heard except its own ([`BroadcastState::forget`] /
+//!   `TrackedTokens::forget`);
+//! * **dynamic root reassignment** — the adversary commits to a round
+//!   tree, then the fault layer re-roots it at another node
+//!   (`RootedTree::rerooted`), flipping the edges on the root path while
+//!   keeping the topology;
+//! * **dropout/rejoin** — an offline node neither sends nor receives for
+//!   the round (its incident tree edges are dropped; it keeps its memory
+//!   and self-loop) and rejoins when the model stops listing it.
+//!
+//! Faults come from a [`FaultModel`] — deterministic schedules
+//! ([`FaultSchedule`], [`RotatingRoot`]) or a seeded random generator
+//! ([`SeededFaults`]). Whatever the model, [`run_workload_faulty`] records
+//! the faults it actually applied into [`WorkloadReport::fault_log`], and
+//! replaying that log through [`FaultSchedule::replay`] reproduces the run
+//! bit-identically — every scenario result stays a replayable witness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use treecast_bitmatrix::BoolMatrix;
+use treecast_trees::{NodeId, RootedTree};
+
+use crate::engine::{SimulationConfig, TreeSource};
+use crate::model::BroadcastState;
+use crate::workload::{
+    full_state_progress, SourceSet, TrackedTokens, Workload, WorkloadOutcome, WorkloadProgress,
+    WorkloadReport,
+};
+
+#[cfg(doc)]
+use crate::workload::run_workload;
+
+/// The faults applied in one round. Produced by a [`FaultModel`],
+/// normalized (sorted, deduplicated, bounds-checked) and recorded verbatim
+/// into [`WorkloadReport::fault_log`] by the runner.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundFaults {
+    /// Nodes that forget all foreign tokens at the end of the round.
+    pub losses: Vec<NodeId>,
+    /// Re-root the round's tree at this node before applying it.
+    pub root: Option<NodeId>,
+    /// Nodes offline for this round: their incident tree edges are
+    /// dropped (memory and self-loop are kept).
+    pub offline: Vec<NodeId>,
+}
+
+impl RoundFaults {
+    /// A fault-free round.
+    pub fn quiet() -> Self {
+        RoundFaults::default()
+    }
+
+    /// `true` when the round carries no fault at all.
+    pub fn is_quiet(&self) -> bool {
+        self.losses.is_empty() && self.root.is_none() && self.offline.is_empty()
+    }
+
+    /// Sorts and deduplicates the node lists and bounds-checks everything
+    /// against `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any named node is `>= n`.
+    fn normalize(&mut self, n: usize) {
+        self.losses.sort_unstable();
+        self.losses.dedup();
+        self.offline.sort_unstable();
+        self.offline.dedup();
+        for &v in self.losses.iter().chain(self.offline.iter()) {
+            assert!(v < n, "fault names node {v}, out of range for n = {n}");
+        }
+        if let Some(r) = self.root {
+            assert!(r < n, "fault root {r} out of range for n = {n}");
+        }
+    }
+}
+
+/// Produces the faults of each round, in round order.
+///
+/// The runner calls [`FaultModel::faults`] exactly once per executed
+/// round with rounds numbered from 1, so stateful models (seeded RNGs,
+/// dropout windows) are deterministic per run.
+pub trait FaultModel {
+    /// The faults to apply in round `round` (1-based) of an `n`-process
+    /// run.
+    fn faults(&mut self, round: u64, n: usize) -> RoundFaults;
+
+    /// Name used in reports.
+    fn name(&self) -> String;
+}
+
+/// The fault-free model: [`run_workload_faulty`] under [`NoFaults`] is
+/// round-for-round identical to plain [`run_workload`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultModel for NoFaults {
+    fn faults(&mut self, _round: u64, _n: usize) -> RoundFaults {
+        RoundFaults::quiet()
+    }
+
+    fn name(&self) -> String {
+        "no-faults".into()
+    }
+}
+
+/// An explicit per-round fault schedule; rounds beyond the end are quiet.
+///
+/// This is both the hand-written scenario construct and the replay vehicle:
+/// [`FaultSchedule::replay`] of a recorded
+/// [`WorkloadReport::fault_log`] drives a bit-identical rerun.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    rounds: Vec<RoundFaults>,
+}
+
+impl FaultSchedule {
+    /// A schedule applying `rounds[t - 1]` in round `t`.
+    pub fn new(rounds: Vec<RoundFaults>) -> Self {
+        FaultSchedule { rounds }
+    }
+
+    /// A schedule replaying a recorded fault log.
+    pub fn replay(log: &[RoundFaults]) -> Self {
+        FaultSchedule {
+            rounds: log.to_vec(),
+        }
+    }
+
+    /// The scheduled rounds.
+    pub fn rounds(&self) -> &[RoundFaults] {
+        &self.rounds
+    }
+}
+
+impl FaultModel for FaultSchedule {
+    fn faults(&mut self, round: u64, _n: usize) -> RoundFaults {
+        self.rounds
+            .get((round - 1) as usize)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    fn name(&self) -> String {
+        format!("schedule(len={})", self.rounds.len())
+    }
+}
+
+/// Deterministic dynamic-root scenario: every `period` rounds the root
+/// role moves to the next node (round `t` re-roots at
+/// `((t − 1) / period) mod n`).
+#[derive(Debug, Clone, Copy)]
+pub struct RotatingRoot {
+    period: u64,
+}
+
+impl RotatingRoot {
+    /// Rotation with the given period (in rounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn new(period: u64) -> Self {
+        assert!(period >= 1, "rotation period must be positive");
+        RotatingRoot { period }
+    }
+}
+
+impl FaultModel for RotatingRoot {
+    fn faults(&mut self, round: u64, n: usize) -> RoundFaults {
+        RoundFaults {
+            root: Some((((round - 1) / self.period) % n as u64) as NodeId),
+            ..RoundFaults::quiet()
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("rotating-root(period={})", self.period)
+    }
+}
+
+/// Seeded random fault generator: per round, every node forgets with
+/// probability `loss_percent`/100, goes offline for `dropout_rounds`
+/// rounds with probability `dropout_percent`/100, and the round is
+/// re-rooted at a uniform node with probability `root_percent`/100.
+///
+/// Fully deterministic given the seed and the round sequence — the runner
+/// queries rounds in order, so a rerun with the same configuration
+/// replays the identical fault sequence (and so does
+/// [`FaultSchedule::replay`] of the recorded log, without the model).
+#[derive(Debug, Clone)]
+pub struct SeededFaults {
+    rng: StdRng,
+    seed: u64,
+    loss_percent: u32,
+    dropout_percent: u32,
+    dropout_rounds: u64,
+    root_percent: u32,
+    /// Per node, the first round it is back online (0 = online now).
+    offline_until: Vec<u64>,
+}
+
+impl SeededFaults {
+    /// A quiet model with the given seed; enable fault classes with the
+    /// builder methods.
+    pub fn new(seed: u64) -> Self {
+        SeededFaults {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            loss_percent: 0,
+            dropout_percent: 0,
+            dropout_rounds: 1,
+            root_percent: 0,
+            offline_until: Vec::new(),
+        }
+    }
+
+    /// Every node forgets with probability `percent`/100 per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent > 100`.
+    pub fn with_token_loss(mut self, percent: u32) -> Self {
+        assert!(percent <= 100, "loss percent must be ≤ 100");
+        self.loss_percent = percent;
+        self
+    }
+
+    /// Every online node drops out with probability `percent`/100 per
+    /// round, staying offline for `rounds` rounds before rejoining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent > 100` or `rounds == 0`.
+    pub fn with_dropout(mut self, percent: u32, rounds: u64) -> Self {
+        assert!(percent <= 100, "dropout percent must be ≤ 100");
+        assert!(rounds >= 1, "dropout must last at least one round");
+        self.dropout_percent = percent;
+        self.dropout_rounds = rounds;
+        self
+    }
+
+    /// The round is re-rooted at a uniform random node with probability
+    /// `percent`/100.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent > 100`.
+    pub fn with_root_changes(mut self, percent: u32) -> Self {
+        assert!(percent <= 100, "root-change percent must be ≤ 100");
+        self.root_percent = percent;
+        self
+    }
+
+    fn chance(&mut self, percent: u32) -> bool {
+        percent > 0 && self.rng.gen_ratio(percent, 100)
+    }
+}
+
+impl FaultModel for SeededFaults {
+    fn faults(&mut self, round: u64, n: usize) -> RoundFaults {
+        self.offline_until.resize(n, 0);
+        let mut faults = RoundFaults::quiet();
+        for v in 0..n {
+            if self.offline_until[v] > round {
+                faults.offline.push(v);
+            } else if self.chance(self.dropout_percent) {
+                self.offline_until[v] = round + self.dropout_rounds;
+                faults.offline.push(v);
+            }
+            if self.chance(self.loss_percent) {
+                faults.losses.push(v);
+            }
+        }
+        if self.chance(self.root_percent) {
+            faults.root = Some(self.rng.gen_range(0..n));
+        }
+        faults
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "seeded(seed={}, loss={}%, drop={}%x{}, root={}%)",
+            self.seed,
+            self.loss_percent,
+            self.dropout_percent,
+            self.dropout_rounds,
+            self.root_percent
+        )
+    }
+}
+
+/// Runs `source` against `workload` under `faults` — the fault-layer
+/// generalization of [`run_workload`].
+///
+/// Per round: the fault model is queried, the source's tree is re-rooted
+/// if demanded, edges incident to offline nodes are dropped (self-loops
+/// stay, so nobody loses memory by being offline), the masked round is
+/// applied, and finally the round's loss victims forget their foreign
+/// tokens. The faults actually applied land in
+/// [`WorkloadReport::fault_log`] — [`FaultSchedule::replay`] of that log
+/// reproduces the run bit-identically (given the same deterministic
+/// `source`).
+///
+/// Token loss makes progress non-monotone, so unlike the fault-free
+/// engine a scenario run can *regress*; the run still stops at the first
+/// round whose end state satisfies the workload (or at the cap).
+///
+/// # Examples
+///
+/// ```
+/// use treecast_core::scenario::{run_workload_faulty, NoFaults};
+/// use treecast_core::{run_workload, Broadcast, SimulationConfig, StaticSource};
+/// use treecast_trees::generators;
+///
+/// let n = 6;
+/// let cfg = SimulationConfig::for_n(n);
+/// let mut a = StaticSource::new(generators::path(n));
+/// let mut b = StaticSource::new(generators::path(n));
+/// let faulty = run_workload_faulty(n, &mut a, &Broadcast, &mut NoFaults, cfg);
+/// let plain = run_workload(n, &mut b, &Broadcast, cfg);
+/// assert_eq!(faulty.completion_time, plain.completion_time);
+/// assert!(faulty.fault_log.iter().all(|f| f.is_quiet()));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`, a fault names a node `>= n`, or the tree source
+/// produces a tree of the wrong size.
+pub fn run_workload_faulty<S, W, F>(
+    n: usize,
+    source: &mut S,
+    workload: &W,
+    faults: &mut F,
+    config: SimulationConfig,
+) -> WorkloadReport
+where
+    S: TreeSource + ?Sized,
+    W: Workload + ?Sized,
+    F: FaultModel + ?Sized,
+{
+    run_workload_faulty_traced(n, source, workload, faults, config, |_, _, _| {})
+}
+
+/// [`run_workload_faulty`] with a per-round hook: called after every
+/// executed round with the faults applied, the (re-rooted, pre-masking)
+/// tree, and the state after the round — the round-for-round witness the
+/// differential tests compare against the fault-free engine.
+pub fn run_workload_faulty_traced<S, W, F>(
+    n: usize,
+    source: &mut S,
+    workload: &W,
+    faults: &mut F,
+    config: SimulationConfig,
+    mut on_round: impl FnMut(&RoundFaults, &RootedTree, &BroadcastState),
+) -> WorkloadReport
+where
+    S: TreeSource + ?Sized,
+    W: Workload + ?Sized,
+    F: FaultModel + ?Sized,
+{
+    let mut state = BroadcastState::new(n);
+    let mut tracked = match workload.sources(n) {
+        SourceSet::All => None,
+        SourceSet::Nodes(sources) => Some(TrackedTokens::new(n, &sources)),
+    };
+    let progress_of = |state: &BroadcastState, tracked: &Option<TrackedTokens>| match tracked {
+        Some(t) => t.progress(),
+        None => full_state_progress(state),
+    };
+    let full_disseminated = |progress: &WorkloadProgress,
+                             tracked: &Option<TrackedTokens>,
+                             state: &BroadcastState| match tracked {
+        None => progress.disseminated,
+        Some(_) => state.disseminated_count(),
+    };
+
+    let mut progress = progress_of(&state, &tracked);
+    let mut completion_time = workload.is_complete(&progress).then_some(0);
+    let mut broadcast_time = (full_disseminated(&progress, &tracked, &state) >= 1).then_some(0);
+    let mut fault_log: Vec<RoundFaults> = Vec::new();
+    let mut round_matrix = BoolMatrix::zeros(n);
+
+    while completion_time.is_none() && state.round() < config.max_rounds {
+        let mut rf = faults.faults(state.round() + 1, n);
+        rf.normalize(n);
+        let tree = source.next_tree(&state);
+        let tree = match rf.root {
+            Some(r) => tree.rerooted(r),
+            None => tree,
+        };
+        if rf.is_quiet() {
+            // Quiet rounds take the engine's cheap tree-apply stepping
+            // (reverse-BFS row unions — no matrix to build), which is what
+            // lets `run_workload` delegate here at zero per-round cost.
+            state.apply(&tree);
+            if let Some(t) = tracked.as_mut() {
+                t.apply(&tree);
+            }
+        } else {
+            round_matrix.clear();
+            round_matrix.add_self_loops();
+            let is_offline = |v: NodeId| rf.offline.binary_search(&v).is_ok();
+            for y in 0..n {
+                if let Some(p) = tree.parent(y) {
+                    if !is_offline(p) && !is_offline(y) {
+                        round_matrix.set(p, y, true);
+                    }
+                }
+            }
+            state.apply_matrix(&round_matrix);
+            if let Some(t) = tracked.as_mut() {
+                t.apply_matrix(&round_matrix);
+            }
+            for &y in &rf.losses {
+                state.forget(y);
+                if let Some(t) = tracked.as_mut() {
+                    t.forget(y);
+                }
+            }
+        }
+        on_round(&rf, &tree, &state);
+        fault_log.push(rf);
+        progress = progress_of(&state, &tracked);
+        if workload.is_complete(&progress) {
+            completion_time = Some(progress.round);
+        }
+        if broadcast_time.is_none() && full_disseminated(&progress, &tracked, &state) >= 1 {
+            broadcast_time = Some(state.round());
+        }
+    }
+
+    WorkloadReport {
+        n,
+        workload: workload.name(),
+        source: source.name(),
+        rounds: state.round(),
+        outcome: if completion_time.is_some() {
+            WorkloadOutcome::Completed
+        } else {
+            WorkloadOutcome::RoundLimit
+        },
+        completion_time,
+        broadcast_time,
+        disseminated: progress.disseminated,
+        tokens: progress.tokens,
+        fault_log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SequenceSource, StaticSource};
+    use crate::workload::{run_workload, Broadcast, Gossip, KSourceBroadcast};
+    use treecast_trees::generators;
+
+    #[test]
+    fn no_faults_matches_run_workload() {
+        for n in [2usize, 5, 9] {
+            let cfg = SimulationConfig::for_n(n);
+            let mut a = StaticSource::new(generators::path(n));
+            let mut b = StaticSource::new(generators::path(n));
+            let faulty = run_workload_faulty(n, &mut a, &Broadcast, &mut NoFaults, cfg);
+            let plain = run_workload(n, &mut b, &Broadcast, cfg);
+            assert_eq!(faulty.completion_time, plain.completion_time, "n = {n}");
+            assert_eq!(faulty.broadcast_time, plain.broadcast_time, "n = {n}");
+            assert_eq!(faulty.rounds, plain.rounds, "n = {n}");
+            assert_eq!(faulty.fault_log.len() as u64, faulty.rounds);
+        }
+    }
+
+    #[test]
+    fn token_loss_delays_the_static_path() {
+        // Losing the far end of the path every round stalls it: node n−1
+        // forgets each round, so the root token never sticks there.
+        let n = 5;
+        let mut schedule: Vec<RoundFaults> = Vec::new();
+        for _ in 0..3 * n {
+            schedule.push(RoundFaults {
+                losses: vec![n - 1],
+                ..RoundFaults::quiet()
+            });
+        }
+        let mut src = StaticSource::new(generators::path(n));
+        let report = run_workload_faulty(
+            n,
+            &mut src,
+            &Broadcast,
+            &mut FaultSchedule::new(schedule),
+            SimulationConfig::for_n(n).with_max_rounds(3 * n as u64),
+        );
+        assert_eq!(report.outcome, WorkloadOutcome::RoundLimit);
+        assert_eq!(report.completion_time, None);
+    }
+
+    #[test]
+    fn offline_root_freezes_the_round() {
+        // With the root of a star offline, the round is all self-loops:
+        // nothing moves.
+        let n = 6;
+        let mut schedule = FaultSchedule::new(vec![RoundFaults {
+            offline: vec![0],
+            ..RoundFaults::quiet()
+        }]);
+        let mut src = StaticSource::new(generators::star(n));
+        let report = run_workload_faulty(
+            n,
+            &mut src,
+            &Broadcast,
+            &mut schedule,
+            SimulationConfig::for_n(n),
+        );
+        // Round 1 is frozen, round 2 completes the star broadcast.
+        assert_eq!(report.completion_time, Some(2));
+    }
+
+    #[test]
+    fn rotating_root_changes_the_static_path() {
+        // Re-rooting the static path makes it complete from a different
+        // witness; the run must still finish within the cap and log a root
+        // change every round.
+        let n = 6;
+        let mut src = StaticSource::new(generators::path(n));
+        let report = run_workload_faulty(
+            n,
+            &mut src,
+            &Broadcast,
+            &mut RotatingRoot::new(2),
+            SimulationConfig::for_n(n),
+        );
+        assert!(report.completion_time.is_some());
+        assert!(report.fault_log.iter().all(|f| f.root.is_some()));
+    }
+
+    #[test]
+    fn seeded_faults_replay_bit_identically() {
+        let n = 7;
+        let cfg = SimulationConfig::for_n(n).with_max_rounds(4 * n as u64);
+        let schedule: Vec<_> = (0..n).map(|c| generators::star_with_center(n, c)).collect();
+        let mut model = SeededFaults::new(0xFA017)
+            .with_token_loss(20)
+            .with_dropout(15, 2)
+            .with_root_changes(30);
+        let mut src = SequenceSource::new(schedule.clone());
+        let original = run_workload_faulty(n, &mut src, &Gossip, &mut model, cfg);
+
+        let mut replay = FaultSchedule::replay(&original.fault_log);
+        let mut src = SequenceSource::new(schedule);
+        let rerun = run_workload_faulty(n, &mut src, &Gossip, &mut replay, cfg);
+        assert_eq!(rerun.completion_time, original.completion_time);
+        assert_eq!(rerun.broadcast_time, original.broadcast_time);
+        assert_eq!(rerun.rounds, original.rounds);
+        assert_eq!(rerun.disseminated, original.disseminated);
+        assert_eq!(rerun.fault_log, original.fault_log);
+    }
+
+    #[test]
+    fn tracked_workloads_take_faults_too() {
+        let n = 6;
+        let workload = KSourceBroadcast::evenly_spread(n, 2);
+        let schedule: Vec<_> = (0..n).map(|c| generators::star_with_center(n, c)).collect();
+        let mut src = SequenceSource::new(schedule);
+        let mut model = SeededFaults::new(7).with_token_loss(25);
+        let report = run_workload_faulty(
+            n,
+            &mut src,
+            &workload,
+            &mut model,
+            SimulationConfig::for_n(n),
+        );
+        assert_eq!(report.tokens, 2);
+        assert_eq!(report.fault_log.len() as u64, report.rounds);
+    }
+
+    #[test]
+    fn fault_normalization_sorts_and_dedups() {
+        let mut rf = RoundFaults {
+            losses: vec![3, 1, 3],
+            root: Some(2),
+            offline: vec![4, 4, 0],
+        };
+        rf.normalize(5);
+        assert_eq!(rf.losses, vec![1, 3]);
+        assert_eq!(rf.offline, vec![0, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fault_on_unknown_node_rejected() {
+        let n = 4;
+        let mut schedule = FaultSchedule::new(vec![RoundFaults {
+            losses: vec![n],
+            ..RoundFaults::quiet()
+        }]);
+        let mut src = StaticSource::new(generators::path(n));
+        run_workload_faulty(
+            n,
+            &mut src,
+            &Broadcast,
+            &mut schedule,
+            SimulationConfig::for_n(n),
+        );
+    }
+
+    #[test]
+    fn model_names_mention_configuration() {
+        assert_eq!(NoFaults.name(), "no-faults");
+        assert!(FaultSchedule::new(vec![]).name().contains("len=0"));
+        assert!(RotatingRoot::new(3).name().contains("period=3"));
+        let s = SeededFaults::new(9).with_token_loss(5).name();
+        assert!(s.contains("loss=5%"), "{s}");
+    }
+}

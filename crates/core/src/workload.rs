@@ -186,14 +186,30 @@ impl KSourceBroadcast {
         KSourceBroadcast { sources }
     }
 
-    /// The `k` evenly spread canonical sources `{0, ⌊n/k⌋, …}` used by the
-    /// experiments.
+    /// The `k` evenly spread canonical sources `{⌊0·n/k⌋, ⌊1·n/k⌋, …,
+    /// ⌊(k−1)·n/k⌋}` used by the experiments.
+    ///
+    /// **Contract:** requires `1 ≤ k ≤ n`, and asserts it explicitly —
+    /// `k = 0` has no tokens to disseminate (vacuous completion at round
+    /// 0) and `k > n` cannot name `k` distinct sources (the floor formula
+    /// would silently collide, e.g. `n = 4, k = 5` repeats node 0). For
+    /// `1 ≤ k ≤ n` consecutive floors differ by at least `⌊n/k⌋ ≥ 1`, so
+    /// the sources are always distinct and [`KSourceBroadcast::new`]'s
+    /// duplicate check never fires. `k = 1` yields the single source
+    /// `{0}`; `k = n` yields all nodes (the gossip source set).
     ///
     /// # Panics
     ///
-    /// Panics if `k == 0` or `k > n`.
+    /// Panics if `k == 0` or `k > n`, with a message naming both values.
     pub fn evenly_spread(n: usize, k: usize) -> Self {
-        assert!(k >= 1 && k <= n, "need 1 ≤ k ≤ n, got k = {k}, n = {n}");
+        assert!(
+            k >= 1,
+            "k-source broadcast needs at least one source (got k = 0, n = {n})"
+        );
+        assert!(
+            k <= n,
+            "cannot spread k = {k} distinct sources over n = {n} nodes"
+        );
         Self::new((0..k).map(|i| i * n / k).collect())
     }
 
@@ -226,10 +242,17 @@ impl Workload for KSourceBroadcast {
 /// square [`BoolMatrix`].
 ///
 /// Round application is one [`BoolMatrix::compose_prefix_into`] — a
-/// `k × n` row block against the round's `n × n` matrix — so a
-/// `k`-source run costs `k/n`-th of a full-state round and runs on the
+/// `k × n` row block against the round's `n × n` matrix — so *stepping
+/// this state* costs `k/n`-th of a full-state round and runs on the
 /// PR-2 sparse/tiled kernels. The round matrix and output buffers are
 /// retained, so steady-state stepping performs no heap allocation.
+///
+/// Note the engine entry points ([`run_workload`],
+/// [`crate::run_workload_faulty`]) keep a full [`BroadcastState`] in
+/// lockstep so state-reading adversaries see their usual interface —
+/// end to end, a tracked run measures this state *in addition to* the
+/// full one; the `k/n` saving is the standalone stepping cost (what
+/// `bench_workloads` gates), not a reduction of the engine loop.
 #[derive(Debug, Clone)]
 pub struct TrackedTokens {
     n: usize,
@@ -350,6 +373,25 @@ impl TrackedTokens {
         self.round += 1;
     }
 
+    /// Token-loss fault: node `y` is removed from every tracked holder set
+    /// except that of its own token (mirroring
+    /// [`BroadcastState::forget`], restricted to the tracked rows).
+    ///
+    /// Scenario-layer primitive ([`crate::scenario`]); the round counter
+    /// is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y >= n`.
+    pub fn forget(&mut self, y: NodeId) {
+        assert!(y < self.n, "node {y} out of range for n = {}", self.n);
+        for (i, &s) in self.sources.iter().enumerate() {
+            if s != y {
+                self.holders.row_mut(i).remove(y);
+            }
+        }
+    }
+
     /// The progress summary the workload predicates consume.
     pub fn progress(&self) -> WorkloadProgress {
         WorkloadProgress {
@@ -404,6 +446,11 @@ pub struct WorkloadReport {
     pub disseminated: usize,
     /// Total tokens in flight.
     pub tokens: usize,
+    /// The faults actually applied, one entry per executed round (empty
+    /// for fault-free runs). Replaying this log through
+    /// [`crate::scenario::FaultSchedule::replay`] reproduces the run
+    /// bit-identically.
+    pub fault_log: Vec<crate::scenario::RoundFaults>,
 }
 
 impl WorkloadReport {
@@ -463,60 +510,21 @@ pub fn run_workload<S: TreeSource + ?Sized, W: Workload + ?Sized>(
     workload: &W,
     config: SimulationConfig,
 ) -> WorkloadReport {
-    let mut state = BroadcastState::new(n);
-    let mut tracked = match workload.sources(n) {
-        SourceSet::All => None,
-        SourceSet::Nodes(sources) => Some(TrackedTokens::new(n, &sources)),
-    };
-    let progress_of = |state: &BroadcastState, tracked: &Option<TrackedTokens>| match tracked {
-        Some(t) => t.progress(),
-        None => full_state_progress(state),
-    };
-
-    // For All-source workloads `progress` *is* the full-state progress, so
-    // the classic broadcast milestone reads it for free; only tracked runs
-    // pay a separate full-state intersection (and only until it fires).
-    let full_disseminated = |progress: &WorkloadProgress,
-                             tracked: &Option<TrackedTokens>,
-                             state: &BroadcastState| match tracked {
-        None => progress.disseminated,
-        Some(_) => state.disseminated_count(),
-    };
-
-    let mut progress = progress_of(&state, &tracked);
-    let mut completion_time = workload.is_complete(&progress).then_some(0);
-    let mut broadcast_time = (full_disseminated(&progress, &tracked, &state) >= 1).then_some(0);
-
-    while completion_time.is_none() && state.round() < config.max_rounds {
-        let tree = source.next_tree(&state);
-        state.apply(&tree);
-        if let Some(t) = tracked.as_mut() {
-            t.apply(&tree);
-        }
-        progress = progress_of(&state, &tracked);
-        if workload.is_complete(&progress) {
-            completion_time = Some(progress.round);
-        }
-        if broadcast_time.is_none() && full_disseminated(&progress, &tracked, &state) >= 1 {
-            broadcast_time = Some(state.round());
-        }
-    }
-
-    WorkloadReport {
+    // The fault-free engine *is* the scenario runner under `NoFaults`:
+    // quiet rounds take the cheap tree-apply stepping inside the runner,
+    // so delegation costs nothing per round and the two engines cannot
+    // drift (the round-for-round equivalence is also property-tested in
+    // `tests/scenarios.rs`).
+    let mut report = crate::scenario::run_workload_faulty(
         n,
-        workload: workload.name(),
-        source: source.name(),
-        rounds: state.round(),
-        outcome: if completion_time.is_some() {
-            WorkloadOutcome::Completed
-        } else {
-            WorkloadOutcome::RoundLimit
-        },
-        completion_time,
-        broadcast_time,
-        disseminated: progress.disseminated,
-        tokens: progress.tokens,
-    }
+        source,
+        workload,
+        &mut crate::scenario::NoFaults,
+        config,
+    );
+    // Fault-free reports carry no log (every entry would be quiet).
+    report.fault_log.clear();
+    report
 }
 
 #[cfg(test)]
@@ -667,6 +675,59 @@ mod tests {
     #[should_panic(expected = "duplicate source")]
     fn duplicate_sources_rejected() {
         KSourceBroadcast::new(vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn evenly_spread_rejects_k_zero() {
+        KSourceBroadcast::evenly_spread(6, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot spread k = 7 distinct sources over n = 6")]
+    fn evenly_spread_rejects_k_above_n() {
+        KSourceBroadcast::evenly_spread(6, 7);
+    }
+
+    #[test]
+    fn evenly_spread_edges_of_the_contract() {
+        // k = 1: the single canonical source.
+        assert_eq!(KSourceBroadcast::evenly_spread(6, 1).sources(), &[0]);
+        // k = n: every node, i.e. the gossip source set — and the floor
+        // formula must yield each node exactly once.
+        let all = KSourceBroadcast::evenly_spread(6, 6);
+        assert_eq!(all.sources(), &[0, 1, 2, 3, 4, 5]);
+        // Distinctness holds across the whole legal range (the contract's
+        // "consecutive floors differ" argument, checked exhaustively).
+        for n in 1..=24usize {
+            for k in 1..=n {
+                let w = KSourceBroadcast::evenly_spread(n, k);
+                assert_eq!(w.sources().len(), k, "n = {n}, k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn tracked_forget_mirrors_full_state_forget() {
+        let n = 6;
+        let sources = vec![0usize, 2, 4];
+        let mut tracked = TrackedTokens::new(n, &sources);
+        let mut full = BroadcastState::new(n);
+        for tree in &[generators::star(n), generators::path(n)] {
+            tracked.apply(tree);
+            full.apply(tree);
+        }
+        tracked.forget(2);
+        full.forget(2);
+        for (i, &s) in sources.iter().enumerate() {
+            assert_eq!(
+                tracked.holders(i).to_bitset(),
+                full.reach_set(s),
+                "token {i} diverged after forget"
+            );
+        }
+        // Node 2 keeps its own token.
+        assert!(tracked.holders(1).contains(2));
     }
 
     #[test]

@@ -508,6 +508,45 @@ impl RootedTree {
         RootedTree::from_parents(parent).expect("relabeling preserves tree-ness")
     }
 
+    /// The same undirected tree re-rooted at `new_root`: every edge on the
+    /// path from `new_root` to the old root flips direction, all other
+    /// parent pointers are kept.
+    ///
+    /// This is the *dynamic root reassignment* fault of the scenario layer
+    /// (`treecast-core`'s `scenario` module): the adversary commits to a
+    /// tree, then the fault layer hands the root role to another node
+    /// without changing the communication topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_root >= n`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use treecast_trees::generators;
+    ///
+    /// let path = generators::path(4); // 0 → 1 → 2 → 3
+    /// let flipped = path.rerooted(3);
+    /// assert_eq!(flipped.root(), 3);
+    /// assert_eq!(flipped.parent(0), Some(1)); // every edge reversed
+    /// assert_eq!(path.rerooted(0).parents(), path.parents());
+    /// ```
+    pub fn rerooted(&self, new_root: NodeId) -> RootedTree {
+        let n = self.n();
+        assert!(new_root < n, "new root {new_root} out of range for n = {n}");
+        let mut parent = self.parent.clone();
+        let mut v = new_root;
+        let mut prev: Option<NodeId> = None;
+        while let Some(p) = parent[v] {
+            parent[v] = prev;
+            prev = Some(v);
+            v = p;
+        }
+        parent[v] = prev;
+        RootedTree::from_parents(parent).expect("rerooting preserves tree-ness")
+    }
+
     /// A compact structural summary, handy in logs and test assertions.
     pub fn shape(&self) -> TreeShape {
         TreeShape {
@@ -718,5 +757,37 @@ mod tests {
         assert_eq!(s.inner_count, 2);
         assert_eq!(s.height, 2);
         assert_eq!(s.max_children, 2);
+    }
+
+    #[test]
+    fn rerooted_flips_the_root_path_only() {
+        // Star with an arm: 0 → {1, 2}, 2 → 3. Re-root at 3.
+        let t = RootedTree::from_edges(4, [(0, 1), (0, 2), (2, 3)]).unwrap();
+        let r = t.rerooted(3);
+        assert_eq!(r.root(), 3);
+        assert_eq!(r.parent(2), Some(3));
+        assert_eq!(r.parent(0), Some(2));
+        assert_eq!(r.parent(1), Some(0), "off-path edges keep direction");
+    }
+
+    #[test]
+    fn rerooted_is_involutive_through_the_old_root() {
+        let t = RootedTree::from_edges(6, [(0, 1), (1, 2), (1, 3), (0, 4), (4, 5)]).unwrap();
+        let back = t.rerooted(5).rerooted(0);
+        assert_eq!(back.parents(), t.parents());
+    }
+
+    #[test]
+    fn rerooted_at_current_root_is_identity() {
+        let t = RootedTree::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(t.rerooted(0).parents(), t.parents());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rerooted_rejects_out_of_range() {
+        RootedTree::from_parents(vec![None, Some(0)])
+            .unwrap()
+            .rerooted(2);
     }
 }
