@@ -3,11 +3,14 @@
 #
 #   ./ci.sh [quick|full|release] [--fix]
 #
-#   quick    fmt check, release build, tests, bench smoke, docs
-#            (skips the bench regression gates and the --ignored tier)
-#   full     quick + the compose/solver/workloads/adversary bench gates
-#            and the release-mode differential/scenario proptests (default)
-#   release  full + the slow --ignored solver tier and the beam width sweep
+#   quick    fmt check, release build, tests, bench smoke, frontier
+#            smoke (n = 10^4), docs (skips the bench regression gates
+#            and the --ignored tier)
+#   full     quick + the compose/solver/workloads/adversary/frontier
+#            bench gates and the release-mode differential/scenario
+#            proptests (default)
+#   release  full + the slow --ignored solver tier, the beam width
+#            sweep, and the frontier scale rows (n = 10^6)
 #   --fix    apply rustfmt instead of failing on drift
 #
 # Every step runs even after a failure: one CI run reports all breakage,
@@ -73,6 +76,12 @@ run_step "cargo fmt ${FMT_MODE:-(fix)}" step_fmt
 run_step "cargo build --release" cargo build --release
 run_step "cargo test -q" cargo test -q
 run_step "bench smoke (criterion test mode)" cargo test -q -p treecast-bench --benches
+# Frontier-engine smoke at n = 10^4 (release binary, ~1 s): proves the
+# sparse engine completes both scale workloads far above the dense
+# engine's comfort zone even in the quick tier. No --check here; the
+# gated comparison runs in the full tier below.
+run_step "frontier smoke (n = 10^4, release)" \
+    cargo run --release -p treecast-bench --bin bench_frontier
 
 if [[ "$TIER" != quick ]]; then
     # Each gate re-measures, writes results/BENCH_<x>.json and compares
@@ -90,11 +99,17 @@ if [[ "$TIER" != quick ]]; then
     run_step "adversary bench gate (exact plan rounds + planning wall)" \
         cargo run --release -p treecast-bench --bin bench_adversary -- \
         --check results/BENCH_adversary_baseline.json
-    # The beam/greedy/exact differential harness and the fault-layer
-    # scenario properties, in release mode (they also run in the debug
-    # tier-1 pass; this run is the fast, optimized re-check).
+    run_step "frontier bench gate (exact rounds + sweep wall, n = 10^4)" \
+        cargo run --release -p treecast-bench --bin bench_frontier -- \
+        --check results/BENCH_frontier_baseline.json
+    # The beam/greedy/exact differential harness, the fault-layer
+    # scenario properties, and the sparse-vs-dense frontier differential
+    # suite, in release mode (they also run in the debug tier-1 pass;
+    # this run is the fast, optimized re-check).
     run_step "adversary differential + scenario proptests (release)" \
         cargo test -q --release --test adversary_differential --test scenarios
+    run_step "frontier differential proptests (release)" \
+        cargo test -q --release --test frontier_differential --test edge_cases
 fi
 
 if [[ "$TIER" == release ]]; then
@@ -107,6 +122,12 @@ if [[ "$TIER" == release ]]; then
     # results/width_sweep.csv and asserts width 8 never loses to width 2.
     run_step "beam width sweep (--ignored, writes results/width_sweep.csv)" \
         cargo test -q --release --test adversary_width_sweep -- --ignored
+    # The tentpole: both frontier scale rows at n = 10^6 (plus the gated
+    # smoke rows). Exact rounds still compared; the baseline holds only
+    # the smoke cells, so the million-node rows are informational.
+    run_step "frontier scale rows (n = 10^6, release tier only)" \
+        cargo run --release -p treecast-bench --bin bench_frontier -- \
+        --scale --check results/BENCH_frontier_baseline.json
 fi
 
 run_step "cargo doc --no-deps (warnings are errors)" step_docs

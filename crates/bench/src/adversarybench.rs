@@ -27,7 +27,7 @@ use treecast_core::{
 
 /// Allowed slowdown of the planning wall time against the checked-in
 /// baseline before `bench_adversary --check` fails, in percent.
-pub const REGRESSION_HEADROOM_PERCENT: u32 = 25;
+pub use crate::gate::REGRESSION_HEADROOM_PERCENT;
 
 /// One deterministic cell of the beam-plan grid.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -15,16 +15,12 @@
 
 use treecast_bench::adversarybench::{
     measure_plan_wall, measure_rounds, parse_ns_per_plan, parse_rounds, render_report,
-    REGRESSION_HEADROOM_PERCENT,
 };
+use treecast_bench::gate::{check_arg, enforce_exact, enforce_wall};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let check_baseline = args.iter().position(|a| a == "--check").map(|i| {
-        args.get(i + 1)
-            .expect("--check needs a baseline path")
-            .clone()
-    });
+    let check_baseline = check_arg(&args);
 
     println!("running the deterministic beam-plan grid...");
     let rounds = measure_rounds();
@@ -64,52 +60,19 @@ fn main() {
 
     // Half 1: exact round counts, never skipped.
     let current = parse_rounds(&report);
-    let mut failures = 0usize;
-    for (key, base_rounds) in parse_rounds(&baseline) {
-        match current.iter().find(|(k, _)| *k == key) {
-            Some((_, now)) if *now == base_rounds => {}
-            Some((_, now)) => {
-                eprintln!(
-                    "ROUND MISMATCH: {key:?} measured {now}, baseline {base_rounds} \
-                     (exact gate, no tolerance)"
-                );
-                failures += 1;
-            }
-            None => {
-                eprintln!("ROUND MISSING: baseline cell {key:?} not measured");
-                failures += 1;
-            }
-        }
-    }
-    if failures > 0 {
-        std::process::exit(1);
-    }
-    println!(
-        "gate ok: all {} plan round counts match the baseline exactly",
-        current.len()
+    enforce_exact(
+        &current,
+        &parse_rounds(&baseline),
+        &format!(
+            "gate ok: all {} plan round counts match the baseline exactly",
+            current.len()
+        ),
     );
 
     // Half 2: wall time, +25%, skippable.
-    if std::env::var("TREECAST_BENCH_GATE").as_deref() == Ok("off") {
-        println!("TREECAST_BENCH_GATE=off: skipping the wall-time gate");
-        return;
-    }
     let base_ns = parse_ns_per_plan(&baseline)
         .unwrap_or_else(|| panic!("baseline {baseline_path} has no plan_wall entry"));
-    let limit = base_ns * (100.0 + f64::from(REGRESSION_HEADROOM_PERCENT)) / 100.0;
-    if wall.ns_per_plan > limit {
-        eprintln!(
-            "REGRESSION: planning took {:.2} ms, baseline {:.2} ms \
-             (+{REGRESSION_HEADROOM_PERCENT}% limit {:.2} ms)",
-            wall.ns_per_plan / 1e6,
-            base_ns / 1e6,
-            limit / 1e6
-        );
-        std::process::exit(1);
-    }
-    println!(
-        "gate ok: planning {:.2} ms within +{REGRESSION_HEADROOM_PERCENT}% of baseline {:.2} ms",
-        wall.ns_per_plan / 1e6,
-        base_ns / 1e6
-    );
+    enforce_wall("planning", wall.ns_per_plan, base_ns, |ns| {
+        format!("{:.2} ms", ns / 1e6)
+    });
 }

@@ -13,13 +13,12 @@
 //! composition is more than 25% slower than the checked-in baseline
 //! (skippable via `TREECAST_BENCH_GATE=off` for underpowered hosts).
 
-use std::time::Instant;
-
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use treecast_bench::composebench::{
-    parse_ns_per_op, random_matrix, render_report, ComposeMeasurement, REGRESSION_HEADROOM_PERCENT,
+    parse_ns_per_op, random_matrix, render_report, ComposeMeasurement,
 };
+use treecast_bench::gate::{best_ns, check_arg, enforce_wall};
 use treecast_bitmatrix::BoolMatrix;
 
 /// Sizes measured; must stay in sync with `benches/compose.rs`.
@@ -36,45 +35,9 @@ const DENSITY_PERCENT: u32 = 10;
 /// current reference host immediately before the flat rewrite.
 const SEED_NS: [(usize, f64); 3] = [(64, 3834.0), (256, 39961.0), (1024, 904202.0)];
 
-/// Best (minimum) batch-mean ns per call of `f`: warm up, time `samples`
-/// ~1 ms batches, keep the fastest.
-///
-/// The minimum is the right statistic for a CI gate on a shared host:
-/// background load can only make a batch slower, never faster, so the
-/// fastest batch approximates the kernel's true cost and the gate does
-/// not flake when the machine is busy.
-fn best_ns<F: FnMut()>(mut f: F, samples: usize) -> f64 {
-    // Warm-up and batch sizing: aim for ~1 ms per sample.
-    let start = Instant::now();
-    let mut calls = 0u32;
-    while calls == 0 || start.elapsed().as_millis() < 50 {
-        f();
-        calls += 1;
-        if calls >= 1000 {
-            break;
-        }
-    }
-    let per_call = (start.elapsed().as_nanos() / u128::from(calls)).max(1);
-    let batch = (1_000_000 / per_call).clamp(1, 10_000) as u32;
-
-    let mut best = f64::INFINITY;
-    for _ in 0..samples {
-        let t = Instant::now();
-        for _ in 0..batch {
-            f();
-        }
-        best = best.min(t.elapsed().as_nanos() as f64 / f64::from(batch));
-    }
-    best
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let check_baseline = args.iter().position(|a| a == "--check").map(|i| {
-        args.get(i + 1)
-            .expect("--check needs a baseline path")
-            .clone()
-    });
+    let check_baseline = check_arg(&args);
 
     let mut rng = StdRng::seed_from_u64(1);
     let mut rows = Vec::new();
@@ -114,10 +77,6 @@ fn main() {
     println!("wrote {}", out_path.display());
 
     if let Some(baseline_path) = check_baseline {
-        if std::env::var("TREECAST_BENCH_GATE").as_deref() == Ok("off") {
-            println!("TREECAST_BENCH_GATE=off: skipping regression gate");
-            return;
-        }
         let baseline = std::fs::read_to_string(&baseline_path)
             .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
         let base_1024 = parse_ns_per_op(&baseline, 1024)
@@ -127,18 +86,8 @@ fn main() {
             .find(|r| r.n == 1024)
             .expect("1024 measured")
             .ns_per_op;
-        let limit = base_1024 * (100.0 + f64::from(REGRESSION_HEADROOM_PERCENT)) / 100.0;
-        if now_1024 > limit {
-            eprintln!(
-                "REGRESSION: compose_into/1024 took {now_1024:.0} ns/op, \
-                 baseline {base_1024:.0} ns/op (+{REGRESSION_HEADROOM_PERCENT}% limit \
-                 {limit:.0} ns/op)"
-            );
-            std::process::exit(1);
-        }
-        println!(
-            "gate ok: compose_into/1024 {now_1024:.0} ns/op within +{REGRESSION_HEADROOM_PERCENT}% \
-             of baseline {base_1024:.0} ns/op"
-        );
+        enforce_wall("compose_into/1024", now_1024, base_1024, |ns| {
+            format!("{ns:.0} ns/op")
+        });
     }
 }

@@ -1,0 +1,101 @@
+//! Frontier-engine measurement harness: runs the sparse engine's scale
+//! rows (static-path broadcast and the k-source seeded sweep) and emits
+//! `results/BENCH_frontier.json` with completion rounds, total and
+//! per-round wall time, and peak RSS.
+//!
+//! ```text
+//! cargo run --release -p treecast-bench --bin bench_frontier            # smoke, n = 10^4
+//! cargo run --release -p treecast-bench --bin bench_frontier -- --scale # + n = 10^6
+//! cargo run --release -p treecast-bench --bin bench_frontier -- \
+//!     --check results/BENCH_frontier_baseline.json   # CI gate
+//! ```
+//!
+//! With `--check <baseline>` the run exits nonzero if (a) any row's
+//! completion round differs from the baseline — every row is a seeded
+//! deterministic run, so this is a correctness gate that is never
+//! skipped — or (b) the gated smoke row is more than 25% slower
+//! (skippable via `TREECAST_BENCH_GATE=off`). The checked-in baseline
+//! records only the smoke size; `--scale` rows are extra cells the exact
+//! gate permits, so the million-node runs stay release-tier-only without
+//! weakening the gate.
+
+use treecast_bench::frontierbench::{
+    measure_scale_rows, parse_ns_per_round, parse_rounds, render_report, ScaleMeasurement, GATE_N,
+    SCALE_N, SMOKE_N, SWEEP_K,
+};
+use treecast_bench::gate::{check_arg, enforce_exact, enforce_wall};
+
+fn print_rows(rows: &[ScaleMeasurement]) {
+    for r in rows {
+        println!(
+            "  {:<26} {:<28} n={:<8} rounds={:<8} wall={:>10.1} ms  {:>12.0} ns/round  rss={}",
+            r.workload,
+            r.source,
+            r.n,
+            r.rounds
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| ">cap".into()),
+            r.wall_ms,
+            r.ns_per_round,
+            r.peak_rss_kb
+                .map(|kb| format!("{:.1} MiB", kb as f64 / 1024.0))
+                .unwrap_or_else(|| "n/a".into()),
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_baseline = check_arg(&args);
+    let scale = args.iter().any(|a| a == "--scale");
+
+    println!("frontier smoke rows (n = {SMOKE_N})...");
+    let mut rows = measure_scale_rows(SMOKE_N);
+    print_rows(&rows);
+
+    if scale {
+        println!("frontier scale rows (n = {SCALE_N})...");
+        let big = measure_scale_rows(SCALE_N);
+        print_rows(&big);
+        rows.extend(big);
+    }
+
+    let report = render_report(&rows);
+    let out_path = std::path::Path::new("results/BENCH_frontier.json");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(out_path, &report).expect("write BENCH_frontier.json");
+    println!("wrote {}", out_path.display());
+
+    let Some(baseline_path) = check_baseline else {
+        return;
+    };
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+
+    // Half 1: exact completion rounds, never skipped.
+    let current = parse_rounds(&report);
+    enforce_exact(
+        &current,
+        &parse_rounds(&baseline),
+        &format!(
+            "gate ok: all {} frontier round counts match the baseline exactly",
+            current.len()
+        ),
+    );
+
+    // Half 2: per-round wall of the seeded sweep at the gate size, +25%,
+    // skippable. The sweep (not the path run) is the gate row: its rounds
+    // are all-delta, so it covers the engine's full per-round machinery.
+    let gate_workload = format!("k-source-broadcast(k={SWEEP_K})");
+    let base_ns = parse_ns_per_round(&baseline, &gate_workload, GATE_N).unwrap_or_else(|| {
+        panic!("baseline {baseline_path} has no {gate_workload} row at n = {GATE_N}")
+    });
+    let now_ns = parse_ns_per_round(&report, &gate_workload, GATE_N)
+        .expect("the smoke sweep was just measured");
+    enforce_wall(
+        &format!("frontier sweep n={GATE_N}"),
+        now_ns,
+        base_ns,
+        |ns| format!("{:.2} ms/round", ns / 1e6),
+    );
+}

@@ -18,9 +18,9 @@
 
 use std::time::Instant;
 
+use treecast_bench::gate::{check_arg, enforce_exact, enforce_wall};
 use treecast_bench::solverbench::{
     parse_solver_field, render_solver_report, SolverMeasurement, SOLVER_GATE_N,
-    SOLVER_REGRESSION_HEADROOM_PERCENT,
 };
 use treecast_core::bounds;
 use treecast_solver::{solve_with, SolveOptions};
@@ -66,11 +66,7 @@ fn measure(n: usize, threads: usize) -> SolverMeasurement {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let check_baseline = args.iter().position(|a| a == "--check").map(|i| {
-        args.get(i + 1)
-            .expect("--check needs a baseline path")
-            .clone()
-    });
+    let check_baseline = check_arg(&args);
     let threads = args
         .iter()
         .position(|a| a == "--threads")
@@ -106,29 +102,27 @@ fn main() {
 
     // Correctness gate first: every size present in both reports must have
     // the same exact t* — a wrong optimum is never acceptable.
-    let mut compared = 0usize;
-    for m in &rows {
-        if let Some(base_t) = parse_solver_field(&baseline, m.n, "t_star") {
-            assert!(
-                (base_t - m.t_star as f64).abs() < 0.5,
-                "t*({}) changed: measured {}, baseline {base_t}",
-                m.n,
-                m.t_star
-            );
-            compared += 1;
-        }
-    }
+    let current: Vec<(usize, i64)> = rows.iter().map(|m| (m.n, m.t_star as i64)).collect();
+    let base_t_stars: Vec<(usize, i64)> = rows
+        .iter()
+        .filter_map(|m| {
+            parse_solver_field(&baseline, m.n, "t_star").map(|t| (m.n, t.round() as i64))
+        })
+        .collect();
     assert!(
-        compared > 0,
+        !base_t_stars.is_empty(),
         "baseline {baseline_path} has no t_star entries for any measured size — \
          format drift would make this gate vacuous"
     );
-    println!("gate ok: t* values match the baseline ({compared} sizes)");
+    enforce_exact(
+        &current,
+        &base_t_stars,
+        &format!(
+            "gate ok: t* values match the baseline ({} sizes)",
+            base_t_stars.len()
+        ),
+    );
 
-    if std::env::var("TREECAST_BENCH_GATE").as_deref() == Ok("off") {
-        println!("TREECAST_BENCH_GATE=off: skipping wall-time regression gate");
-        return;
-    }
     let base_ms = parse_solver_field(&baseline, SOLVER_GATE_N, "wall_ms")
         .unwrap_or_else(|| panic!("baseline {baseline_path} has no n = {SOLVER_GATE_N} entry"));
     let now_ms = rows
@@ -136,16 +130,7 @@ fn main() {
         .find(|r| r.n == SOLVER_GATE_N)
         .expect("gate size measured")
         .wall_ms;
-    let limit = base_ms * (100.0 + f64::from(SOLVER_REGRESSION_HEADROOM_PERCENT)) / 100.0;
-    if now_ms > limit {
-        eprintln!(
-            "REGRESSION: solve/{SOLVER_GATE_N} took {now_ms:.1} ms, baseline {base_ms:.1} ms \
-             (+{SOLVER_REGRESSION_HEADROOM_PERCENT}% limit {limit:.1} ms)"
-        );
-        std::process::exit(1);
-    }
-    println!(
-        "gate ok: solve/{SOLVER_GATE_N} {now_ms:.1} ms within \
-         +{SOLVER_REGRESSION_HEADROOM_PERCENT}% of baseline {base_ms:.1} ms"
-    );
+    enforce_wall(&format!("solve/{SOLVER_GATE_N}"), now_ms, base_ms, |ms| {
+        format!("{ms:.1} ms")
+    });
 }

@@ -13,11 +13,9 @@
 //! never skipped — or (b) the tracked stepping is more than 25% slower
 //! (skippable via `TREECAST_BENCH_GATE=off` for unsuitable hosts).
 
-use std::time::Instant;
-
+use treecast_bench::gate::{best_ns, check_arg, enforce_exact, enforce_wall};
 use treecast_bench::workloadbench::{
     measure_rounds, parse_ns_per_round, parse_rounds, render_report, TrackedStepMeasurement,
-    REGRESSION_HEADROOM_PERCENT,
 };
 use treecast_core::TrackedTokens;
 use treecast_trees::generators;
@@ -27,32 +25,6 @@ use treecast_trees::generators;
 /// carries the round.
 const STEP_N: usize = 1024;
 const STEP_K: usize = 8;
-
-/// Best (minimum) batch-mean ns per call of `f` — the same anti-noise
-/// statistic as `bench_compose`.
-fn best_ns<F: FnMut()>(mut f: F, samples: usize) -> f64 {
-    let start = Instant::now();
-    let mut calls = 0u32;
-    while calls == 0 || start.elapsed().as_millis() < 50 {
-        f();
-        calls += 1;
-        if calls >= 1000 {
-            break;
-        }
-    }
-    let per_call = (start.elapsed().as_nanos() / u128::from(calls)).max(1);
-    let batch = (1_000_000 / per_call).clamp(1, 10_000) as u32;
-
-    let mut best = f64::INFINITY;
-    for _ in 0..samples {
-        let t = Instant::now();
-        for _ in 0..batch {
-            f();
-        }
-        best = best.min(t.elapsed().as_nanos() as f64 / f64::from(batch));
-    }
-    best
-}
 
 fn measure_tracked_step() -> TrackedStepMeasurement {
     let sources: Vec<usize> = (0..STEP_K).map(|i| i * STEP_N / STEP_K).collect();
@@ -76,11 +48,7 @@ fn measure_tracked_step() -> TrackedStepMeasurement {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let check_baseline = args.iter().position(|a| a == "--check").map(|i| {
-        args.get(i + 1)
-            .expect("--check needs a baseline path")
-            .clone()
-    });
+    let check_baseline = check_arg(&args);
 
     println!("running the deterministic workload grid...");
     let rounds = measure_rounds();
@@ -116,50 +84,19 @@ fn main() {
 
     // Half 1: exact round counts, never skipped.
     let current = parse_rounds(&report);
-    let mut failures = 0usize;
-    for (key, base_rounds) in parse_rounds(&baseline) {
-        match current.iter().find(|(k, _)| *k == key) {
-            Some((_, now)) if *now == base_rounds => {}
-            Some((_, now)) => {
-                eprintln!(
-                    "ROUND MISMATCH: {key:?} measured {now}, baseline {base_rounds} \
-                     (exact gate, no tolerance)"
-                );
-                failures += 1;
-            }
-            None => {
-                eprintln!("ROUND MISSING: baseline cell {key:?} not measured");
-                failures += 1;
-            }
-        }
-    }
-    if failures > 0 {
-        std::process::exit(1);
-    }
-    println!(
-        "gate ok: all {} round counts match the baseline exactly",
-        current.len()
+    enforce_exact(
+        &current,
+        &parse_rounds(&baseline),
+        &format!(
+            "gate ok: all {} round counts match the baseline exactly",
+            current.len()
+        ),
     );
 
     // Half 2: wall time, +25%, skippable.
-    if std::env::var("TREECAST_BENCH_GATE").as_deref() == Ok("off") {
-        println!("TREECAST_BENCH_GATE=off: skipping the wall-time gate");
-        return;
-    }
     let base_ns = parse_ns_per_round(&baseline)
         .unwrap_or_else(|| panic!("baseline {baseline_path} has no tracked_step entry"));
-    let limit = base_ns * (100.0 + f64::from(REGRESSION_HEADROOM_PERCENT)) / 100.0;
-    if step.ns_per_round > limit {
-        eprintln!(
-            "REGRESSION: tracked_step took {:.0} ns/round, baseline {base_ns:.0} ns/round \
-             (+{REGRESSION_HEADROOM_PERCENT}% limit {limit:.0})",
-            step.ns_per_round
-        );
-        std::process::exit(1);
-    }
-    println!(
-        "gate ok: tracked_step {:.0} ns/round within +{REGRESSION_HEADROOM_PERCENT}% of \
-         baseline {base_ns:.0} ns/round",
-        step.ns_per_round
-    );
+    enforce_wall("tracked_step", step.ns_per_round, base_ns, |ns| {
+        format!("{ns:.0} ns/round")
+    });
 }

@@ -9,7 +9,7 @@ use treecast_bitmatrix::BoolMatrix;
 
 /// Allowed slowdown of `compose_into/1024` against the checked-in
 /// baseline before `bench_compose --check` fails, in percent.
-pub const REGRESSION_HEADROOM_PERCENT: u32 = 25;
+pub use crate::gate::REGRESSION_HEADROOM_PERCENT;
 
 /// The measured workload: a reflexive matrix with roughly
 /// `density_percent`% of the off-diagonal entries set.

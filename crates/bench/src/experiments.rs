@@ -1004,6 +1004,68 @@ pub fn adversarial_variants_on(ns: &[usize], scenario_ns: &[usize]) -> Experimen
     out
 }
 
+/// E12 (scale): the frontier-sparse engine pushed to n = 10⁶ — the
+/// static-path broadcast (Θ(n) rounds at O(1) each) and the k-source
+/// sweep under seeded uniform trees (Θ(log n) rounds at O(n) each), with
+/// per-round wall time and peak RSS per row.
+pub fn scale(quick: bool) -> ExperimentOutput {
+    // Full mode reaches the tentpole size; quick stays in CI territory
+    // (the debug-build smoke the quick tier also runs).
+    let ns: &[usize] = if quick {
+        &[1_000, 10_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    scale_on(ns)
+}
+
+/// [`scale`] over an explicit size grid (exposed for cheap testing).
+pub fn scale_on(ns: &[usize]) -> ExperimentOutput {
+    use crate::frontierbench::measure_scale_rows;
+
+    let mut out = ExperimentOutput::new("scale", "E12 frontier engine at scale");
+    let mut t = Table::new([
+        "workload",
+        "source",
+        "n",
+        "rounds",
+        "wall ms",
+        "ns/round",
+        "peak RSS MiB",
+    ]);
+    for &n in ns {
+        for m in measure_scale_rows(n) {
+            t.push([
+                m.workload.clone(),
+                m.source.clone(),
+                m.n.to_string(),
+                m.rounds
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| ">cap".into()),
+                format!("{:.1}", m.wall_ms),
+                format!("{:.0}", m.ns_per_round),
+                m.peak_rss_kb
+                    .map(|kb| format!("{:.1}", kb as f64 / 1024.0))
+                    .unwrap_or_default(),
+            ]);
+        }
+    }
+    out.tables.push(("scale_frontier".into(), t));
+    out.notes.push(
+        "Rounds are exact and seeded (gate material); wall and RSS are informational. Peak RSS \
+         is the process high-water mark (VmHWM), so later rows inherit earlier rows' peak — \
+         see the bench README."
+            .into(),
+    );
+    out.notes.push(
+        "The frontier engine is the dense engine's round-for-round equal (tests/\
+         frontier_differential.rs proves it for n <= 1024, faults included); these sizes are \
+         where the dense O(n²) state stops fitting and the sparse engine keeps going."
+            .into(),
+    );
+    out
+}
+
 /// Runs every experiment.
 pub fn all(quick: bool) -> Vec<ExperimentOutput> {
     vec![
@@ -1019,6 +1081,7 @@ pub fn all(quick: bool) -> Vec<ExperimentOutput> {
         ablation(quick),
         variants(quick),
         adversarial_variants(quick),
+        scale(quick),
     ]
 }
 
@@ -1036,6 +1099,7 @@ pub const IDS: &[&str] = &[
     "ablation",
     "variants",
     "adversarial",
+    "scale",
     "all",
 ];
 
@@ -1058,6 +1122,7 @@ pub fn run_by_id(id: &str, quick: bool) -> Vec<ExperimentOutput> {
         "ablation" => vec![ablation(quick)],
         "variants" => vec![variants(quick)],
         "adversarial" => vec![adversarial_variants(quick)],
+        "scale" => vec![scale(quick)],
         "all" => all(quick),
         other => panic!("unknown experiment id {other:?}, expected one of {IDS:?}"),
     }
@@ -1128,6 +1193,19 @@ mod tests {
         assert!(search.contains("k-source"));
         let scen = out.tables[1].1.to_csv();
         assert!(scen.contains("identical"));
+    }
+
+    #[test]
+    fn scale_tiny_grid_completes_every_row() {
+        let out = scale_on(&[256]);
+        let (_, table) = &out.tables[0];
+        assert_eq!(table.len(), 2, "broadcast + sweep rows");
+        let csv = table.to_csv();
+        assert!(
+            csv.contains("k-source-broadcast(k=1),static(path),256,255"),
+            "{csv}"
+        );
+        assert!(!csv.contains(">cap"), "{csv}");
     }
 
     #[test]

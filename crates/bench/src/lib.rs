@@ -11,6 +11,8 @@
 pub mod adversarybench;
 pub mod composebench;
 pub mod experiments;
+pub mod frontierbench;
+pub mod gate;
 pub mod solverbench;
 pub mod workloadbench;
 

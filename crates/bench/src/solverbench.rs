@@ -7,7 +7,7 @@ use treecast_core::bounds;
 
 /// Allowed slowdown of the gated solve against the checked-in baseline
 /// before `bench_solver --check` fails, in percent.
-pub const SOLVER_REGRESSION_HEADROOM_PERCENT: u32 = 25;
+pub use crate::gate::REGRESSION_HEADROOM_PERCENT as SOLVER_REGRESSION_HEADROOM_PERCENT;
 
 /// The size whose wall time the CI gate compares (largest quick size —
 /// big enough to be stable, small enough for every CI run).

@@ -25,7 +25,7 @@ use treecast_trees::generators;
 
 /// Allowed slowdown of the tracked-stepping wall time against the
 /// checked-in baseline before `bench_workloads --check` fails, in percent.
-pub const REGRESSION_HEADROOM_PERCENT: u32 = 25;
+pub use crate::gate::REGRESSION_HEADROOM_PERCENT;
 
 /// The deterministic round-count grid: network sizes.
 pub const GRID_NS: [usize; 3] = [16, 32, 64];

@@ -24,6 +24,9 @@
 //!   the [`BitView`] trait.
 //! * [`PackedMatrix`] — an entire matrix in one `u64` for `n ≤ 8`, powering
 //!   the exact state-space solver.
+//! * [`HybridRow`] — a sparse-until-promoted row (sorted index list below a
+//!   per-universe threshold, dense words above) for the frontier engine's
+//!   million-node states.
 //!
 //! # Examples
 //!
@@ -52,6 +55,7 @@
 #![warn(missing_docs)]
 
 mod bitset;
+mod hybrid;
 mod matrix;
 mod packed;
 mod row;
@@ -60,6 +64,7 @@ mod row;
 pub mod strategies;
 
 pub use bitset::{BitSet, BitView, Iter, ParseBitSetError};
+pub use hybrid::{hybrid_threshold, HybridIter, HybridRow};
 pub use matrix::{BoolMatrix, ComposePath, ParseMatrixError};
 pub use packed::{PackedMatrix, PACKED_MAX_N};
 pub use row::{RowMut, RowRef};

@@ -63,7 +63,7 @@ impl StaticSource {
     }
 }
 
-fn summarize(tree: &RootedTree) -> &'static str {
+pub(crate) fn summarize(tree: &RootedTree) -> &'static str {
     if tree.is_path() {
         "path"
     } else if tree.is_star() {

@@ -1,0 +1,854 @@
+//! The frontier-sparse simulation engine: million-node broadcast runs in
+//! O(newly informed) work per round.
+//!
+//! The dense engine ([`crate::run_workload`]) carries the full `n × n`
+//! product graph — O(n²) bits of state and O(n²/64) word work per round,
+//! which caps experiments near n ≈ 10⁴. But the model is **monotone**:
+//! along a round tree, node `y` hears token `x` exactly when its parent
+//! already holds `x`, and (absent faults) holder sets only grow. So a
+//! token's run is fully described by its holder set plus the per-round
+//! *frontier* of newly informed nodes, and a round only needs to examine
+//!
+//! * last round's fault-**deferred** candidates,
+//! * the children (in this round's tree) of last round's frontier, and
+//! * the nodes whose parent changed since last round (the **delta** the
+//!   tree source reports).
+//!
+//! Everything else provably cannot change this round (see
+//! `apply_round`). On a static tree the delta is empty and a round costs
+//! O(frontier) — the paper's static path runs a million rounds at O(1)
+//! each, where the dense engine would pay O(n²/64) per round.
+//!
+//! Holder sets are [`HybridRow`]s: a sorted index list while small, dense
+//! words once promoted, so early rounds of a million-node run cost bytes,
+//! not 125 KB per token.
+//!
+//! # Exactness and scale
+//!
+//! The engine tracks an explicit token set. With [`SourceSet::All`]
+//! workloads (broadcast, k-broadcast, gossip) that is all `n` tokens —
+//! *exactly* the dense semantics, which is what the differential suite
+//! (`tests/frontier_differential.rs`) pins round-for-round against the
+//! dense oracle for n ≤ 1024, faults included. All-token tracking is
+//! inherently Ω(n²) in the worst case, so at n = 10⁶ the experiments use
+//! [`SourceSet::Nodes`] workloads ([`crate::KSourceBroadcast`]): the root
+//! token for broadcast (provably the dense answer on root-stable
+//! sources), a spread sample of k tokens for gossip-style sweeps.
+//!
+//! One observable difference at the report level:
+//! [`WorkloadReport::broadcast_time`] of a *tracked* (`SourceSet::Nodes`)
+//! run is the first round a **tracked** token disseminated, while the
+//! dense runner reports the first round *any* of the `n` tokens did. The
+//! two agree on every `SourceSet::All` workload.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use treecast_bitmatrix::{BitSet, HybridRow};
+use treecast_trees::{random, NodeId, RootedTree};
+
+use crate::engine::{summarize, SequenceSource, SimulationConfig, StaticSource, TreeSource};
+use crate::scenario::{FaultModel, NoFaults, RoundFaults};
+use crate::workload::{SourceSet, Workload, WorkloadOutcome, WorkloadProgress, WorkloadReport};
+
+/// How this round's tree differs from the previous round's, as reported
+/// by [`FrontierSource::next_round`].
+///
+/// The delta is what lets the frontier engine skip the O(n) "which edges
+/// moved" scan: a node can only become newly reachable through its parent
+/// edge, so the candidate set of a round is deferred ∪ frontier-children
+/// ∪ delta.
+#[derive(Debug, Clone, Copy)]
+pub enum RoundDelta<'a> {
+    /// The effective tree is identical to the previous round's — no
+    /// parent changed.
+    Unchanged,
+    /// Only the listed nodes may have a different parent than last round
+    /// (e.g. the nodes on a re-rooting path). May name nodes whose parent
+    /// did not actually change; extra candidates are harmless.
+    Changed(&'a [NodeId]),
+    /// Arbitrarily different tree: every node is a candidate. Always
+    /// sound, costs O(n) for the round.
+    All,
+}
+
+/// Per-token frontier state: the holder set plus the worklists that make
+/// the next round O(candidates).
+#[derive(Debug, Clone)]
+struct TokenFrontier {
+    /// The node whose token this is (it never forgets it).
+    source: NodeId,
+    /// Nodes currently holding the token.
+    holders: HybridRow,
+    /// Nodes that became holders in the last applied round.
+    frontier: Vec<NodeId>,
+    /// Candidates blocked by faults (offline endpoint) or token loss in
+    /// an earlier round; re-examined every round until resolved.
+    deferred: Vec<NodeId>,
+    /// Cached `holders.is_full()`.
+    full: bool,
+}
+
+/// The frontier-sparse dissemination state: one [`HybridRow`] holder set
+/// and a newly-informed worklist per tracked token.
+///
+/// Observationally equivalent to the dense engine's state on the tracked
+/// tokens — [`TrackedTokens`](crate::TrackedTokens) for
+/// [`SourceSet::Nodes`], the full [`BroadcastState`](crate::BroadcastState)
+/// (token `x` ↔ column `x`) when all `n` tokens are tracked — but a round
+/// costs O(candidates) instead of O(n²/64).
+///
+/// # Examples
+///
+/// ```
+/// use treecast_core::frontier::{FrontierState, RoundDelta};
+/// use treecast_trees::generators;
+///
+/// let n = 5;
+/// let mut state = FrontierState::new(n, &[0]);
+/// let path = generators::path(n);
+/// for round in 1..n {
+///     state.apply_round(&path, RoundDelta::Unchanged, &[]);
+///     assert_eq!(state.holders(0).len(), round + 1);
+/// }
+/// assert_eq!(state.disseminated_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrontierState {
+    n: usize,
+    round: u64,
+    tokens: Vec<TokenFrontier>,
+    /// Tokens currently held by everyone (kept incrementally).
+    disseminated: usize,
+    /// Per-round candidate dedup bits, cleared via `touched` so clearing
+    /// costs O(candidates), not O(n/64).
+    seen: BitSet,
+    /// Scratch: nodes accepted this round (the next frontier).
+    fresh: Vec<NodeId>,
+    /// Scratch: nodes whose `seen` bit is set.
+    touched: Vec<NodeId>,
+    /// Scratch: the round's candidate list.
+    pending: Vec<NodeId>,
+}
+
+impl FrontierState {
+    /// A fresh state tracking one token per source: token `i` is held
+    /// only by `sources[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `sources` is empty, or any source is `>= n`.
+    pub fn new(n: usize, sources: &[NodeId]) -> Self {
+        assert!(n > 0, "the model needs at least one process");
+        assert!(!sources.is_empty(), "need at least one source");
+        let mut tokens = Vec::with_capacity(sources.len());
+        let mut disseminated = 0;
+        for &s in sources {
+            assert!(s < n, "source {s} out of range for n = {n}");
+            let holders = HybridRow::singleton(n, s);
+            let full = holders.is_full();
+            if full {
+                disseminated += 1;
+            }
+            tokens.push(TokenFrontier {
+                source: s,
+                holders,
+                frontier: vec![s],
+                deferred: Vec::new(),
+                full,
+            });
+        }
+        FrontierState {
+            n,
+            round: 0,
+            tokens,
+            disseminated,
+            seen: BitSet::new(n),
+            fresh: Vec::new(),
+            touched: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Number of processes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Rounds applied so far.
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of tracked tokens.
+    #[inline]
+    pub fn token_count(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// The holder set of token `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= token_count()`.
+    pub fn holders(&self, i: usize) -> &HybridRow {
+        &self.tokens[i].holders
+    }
+
+    /// Tokens currently held by every node (maintained incrementally;
+    /// equal to recounting the full holder sets).
+    #[inline]
+    pub fn disseminated_count(&self) -> usize {
+        self.disseminated
+    }
+
+    /// The progress summary the workload predicates consume.
+    pub fn progress(&self) -> WorkloadProgress {
+        WorkloadProgress {
+            n: self.n,
+            round: self.round,
+            tokens: self.tokens.len(),
+            disseminated: self.disseminated,
+        }
+    }
+
+    /// Applies one synchronous round along `tree` (self-loops implied),
+    /// with the edges incident to the sorted `offline` nodes masked out —
+    /// the frontier mirror of the dense engine's masked round matrix.
+    ///
+    /// # Correctness of the candidate set
+    ///
+    /// A node `y` can newly receive a token this round only if
+    /// `p = parent(y)` held it at the start of the round. Induction over
+    /// rounds shows `y` is always among the candidates examined:
+    /// if `p` became a holder last round, `y` is a child of the last
+    /// frontier; if `y`'s parent edge changed, `y` is in the delta; and
+    /// otherwise `y` was already a candidate last round and was either
+    /// informed then (contradiction), dropped because `p` was not yet a
+    /// holder (then `p` joined a later frontier — first case), or blocked
+    /// by a fault and parked in `deferred`, where it stays until
+    /// resolved. Fault-forgotten nodes re-enter through `deferred` too
+    /// ([`FrontierState::forget`]).
+    ///
+    /// New holders are collected first and committed after the scan, so a
+    /// token still travels exactly one hop per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tree.n() != self.n()`.
+    pub fn apply_round(&mut self, tree: &RootedTree, delta: RoundDelta<'_>, offline: &[NodeId]) {
+        assert_eq!(
+            tree.n(),
+            self.n,
+            "round tree has {} nodes but the state has {}",
+            tree.n(),
+            self.n
+        );
+        debug_assert!(
+            offline.windows(2).all(|w| w[0] < w[1]),
+            "offline list must be sorted and deduplicated"
+        );
+        let n = self.n;
+        let is_offline = |v: NodeId| offline.binary_search(&v).is_ok();
+        let mut seen = std::mem::replace(&mut self.seen, BitSet::new(0));
+        let mut fresh = std::mem::take(&mut self.fresh);
+        let mut touched = std::mem::take(&mut self.touched);
+        let mut pending = std::mem::take(&mut self.pending);
+        let mut disseminated = self.disseminated;
+
+        for tok in &mut self.tokens {
+            if tok.full {
+                // Nothing left to inform; candidates would all be
+                // dropped as already-holders. A later `forget` re-enters
+                // through `deferred`.
+                tok.frontier.clear();
+                continue;
+            }
+
+            // Phase 1: gather candidates. `RoundDelta::All` supersedes
+            // the incremental lists (and resolves any deferred node as a
+            // side effect of scanning everyone).
+            pending.clear();
+            match delta {
+                RoundDelta::All => {
+                    tok.deferred.clear();
+                    pending.extend(0..n);
+                }
+                _ => {
+                    pending.append(&mut tok.deferred);
+                    for &f in &tok.frontier {
+                        pending.extend_from_slice(tree.children(f));
+                    }
+                    if let RoundDelta::Changed(nodes) = delta {
+                        pending.extend_from_slice(nodes);
+                    }
+                }
+            }
+
+            // Phase 2: resolve against the *pre-round* holder set.
+            // `tok.deferred` is empty here and refills with this round's
+            // fault-blocked candidates.
+            fresh.clear();
+            touched.clear();
+            for &y in &pending {
+                if seen.contains(y) {
+                    continue;
+                }
+                seen.insert(y);
+                touched.push(y);
+                if tok.holders.contains(y) {
+                    continue;
+                }
+                let Some(p) = tree.parent(y) else {
+                    continue;
+                };
+                if !tok.holders.contains(p) {
+                    continue;
+                }
+                if is_offline(y) || is_offline(p) {
+                    tok.deferred.push(y);
+                    continue;
+                }
+                fresh.push(y);
+            }
+
+            // Phase 3: commit. `fresh` becomes the next frontier; the old
+            // frontier vector is recycled as the next token's scratch.
+            for &y in &fresh {
+                tok.holders.insert(y);
+            }
+            std::mem::swap(&mut tok.frontier, &mut fresh);
+            for &y in &touched {
+                seen.remove(y);
+            }
+            if tok.holders.is_full() {
+                tok.full = true;
+                disseminated += 1;
+            }
+        }
+
+        self.disseminated = disseminated;
+        self.seen = seen;
+        self.fresh = fresh;
+        self.touched = touched;
+        self.pending = pending;
+        self.round += 1;
+    }
+
+    /// Token-loss fault: node `y` drops every tracked token except its
+    /// own — the sparse mirror of
+    /// [`BroadcastState::forget`](crate::BroadcastState::forget) /
+    /// [`TrackedTokens::forget`](crate::TrackedTokens::forget). The
+    /// victim re-enters each affected token's `deferred` list so it can
+    /// be re-informed as soon as its parent holds the token again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y >= n`.
+    pub fn forget(&mut self, y: NodeId) {
+        assert!(y < self.n, "node {y} out of range for n = {}", self.n);
+        for tok in &mut self.tokens {
+            if tok.source == y {
+                continue;
+            }
+            if tok.holders.remove(y) {
+                if tok.full {
+                    tok.full = false;
+                    self.disseminated -= 1;
+                }
+                tok.deferred.push(y);
+            }
+        }
+    }
+}
+
+enum SourceKind {
+    Static(RootedTree),
+    Sequence(Vec<RootedTree>),
+    Seeded { seed: u64, n: usize },
+}
+
+/// A delta-reporting tree source for the frontier engine.
+///
+/// The dense [`TreeSource`] trait hands the adversary the full
+/// [`BroadcastState`](crate::BroadcastState) every round, which a sparse
+/// run cannot afford to materialize — so the frontier engine has its own
+/// (state-oblivious) source type that additionally reports a
+/// [`RoundDelta`] per round. Every variant has an exact dense twin
+/// ([`FrontierSource::dense_twin`]) producing the identical tree
+/// sequence, which is what the differential suite runs the oracle on.
+///
+/// # Examples
+///
+/// ```
+/// use treecast_core::frontier::{run_workload_frontier, FrontierSource};
+/// use treecast_core::{Broadcast, SimulationConfig};
+/// use treecast_trees::generators;
+///
+/// let n = 1000;
+/// let mut src = FrontierSource::fixed(generators::path(n));
+/// let report = run_workload_frontier(n, &mut src, &Broadcast, SimulationConfig::for_n(n));
+/// assert_eq!(report.completion_time, Some((n - 1) as u64));
+/// ```
+pub struct FrontierSource {
+    kind: SourceKind,
+    label: String,
+    rng: Option<StdRng>,
+    /// The seeded variant's tree of the current round.
+    current: Option<RootedTree>,
+    /// The re-rooted tree of the current round, when a reroot was asked.
+    effective: Option<RootedTree>,
+    rounds_started: u64,
+    seq_idx: usize,
+    /// Base-tree path of the previous round's reroot (nodes whose parent
+    /// still differs from the base).
+    prev_reroot_path: Vec<NodeId>,
+    changed_buf: Vec<NodeId>,
+}
+
+/// One round as produced by [`FrontierSource::next_round`]: the effective
+/// tree plus how it differs from the previous round's.
+#[derive(Debug)]
+pub struct FrontierRound<'a> {
+    /// The round's (possibly re-rooted) tree.
+    pub tree: &'a RootedTree,
+    /// Difference against the previous round's effective tree.
+    pub delta: RoundDelta<'a>,
+}
+
+impl FrontierSource {
+    fn with_kind(kind: SourceKind, label: String) -> Self {
+        FrontierSource {
+            kind,
+            label,
+            rng: None,
+            current: None,
+            effective: None,
+            rounds_started: 0,
+            seq_idx: 0,
+            prev_reroot_path: Vec::new(),
+            changed_buf: Vec::new(),
+        }
+    }
+
+    /// Repeats one fixed tree every round — the frontier twin of
+    /// [`StaticSource`]. Quiet rounds report [`RoundDelta::Unchanged`],
+    /// so a static-path broadcast runs in O(1) per round.
+    pub fn fixed(tree: RootedTree) -> Self {
+        let label = format!("static({})", summarize(&tree));
+        Self::with_kind(SourceKind::Static(tree), label)
+    }
+
+    /// Plays a fixed schedule, then repeats the last tree — the frontier
+    /// twin of [`SequenceSource`]. Rounds that advance the schedule
+    /// report [`RoundDelta::All`]; the repeating tail is
+    /// [`RoundDelta::Unchanged`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trees` is empty.
+    pub fn sequence(trees: Vec<RootedTree>) -> Self {
+        assert!(!trees.is_empty(), "schedule needs at least one tree");
+        let label = format!("sequence(len={})", trees.len());
+        Self::with_kind(SourceKind::Sequence(trees), label)
+    }
+
+    /// A fresh uniform random tree ([`random::uniform`]) each round,
+    /// deterministic in the seed. Every round is [`RoundDelta::All`].
+    pub fn seeded(n: usize, seed: u64) -> Self {
+        let label = format!("seeded-uniform(seed={seed})");
+        Self::with_kind(SourceKind::Seeded { seed, n }, label)
+    }
+
+    /// Report name, matching the dense twin's where one exists.
+    pub fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    /// A dense [`TreeSource`] producing the identical tree sequence for
+    /// the first `max_rounds` rounds (the whole run, when the runner is
+    /// capped at `max_rounds`) — the oracle side of the differential
+    /// tests. Call it on a *fresh* source; the seeded variant replays its
+    /// RNG from the seed.
+    pub fn dense_twin(&self, max_rounds: u64) -> Box<dyn TreeSource> {
+        match &self.kind {
+            SourceKind::Static(tree) => Box::new(StaticSource::new(tree.clone())),
+            SourceKind::Sequence(trees) => Box::new(SequenceSource::new(trees.clone())),
+            SourceKind::Seeded { seed, n } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let trees: Vec<RootedTree> = (0..max_rounds.max(1))
+                    .map(|_| random::uniform(*n, &mut rng))
+                    .collect();
+                Box::new(SequenceSource::new(trees).with_label(self.name()))
+            }
+        }
+    }
+
+    /// The current round's base (pre-reroot) tree.
+    fn base(&self) -> &RootedTree {
+        match &self.kind {
+            SourceKind::Static(tree) => tree,
+            SourceKind::Sequence(trees) => &trees[self.seq_idx],
+            SourceKind::Seeded { .. } => self
+                .current
+                .as_ref()
+                .expect("seeded source advanced by next_round"),
+        }
+    }
+
+    /// Produces the next round's tree and its delta, applying the fault
+    /// layer's re-rooting demand (the frontier mirror of the dense
+    /// runner's `tree.rerooted(r)` step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source's trees are not of size `n` or `reroot` names
+    /// a node `>= n`.
+    pub fn next_round(&mut self, n: usize, reroot: Option<NodeId>) -> FrontierRound<'_> {
+        let first = self.rounds_started == 0;
+        self.rounds_started += 1;
+        let same_base = match &mut self.kind {
+            SourceKind::Static(tree) => {
+                assert_eq!(tree.n(), n, "source tree size mismatch");
+                !first
+            }
+            SourceKind::Sequence(trees) => {
+                let idx = ((self.rounds_started - 1) as usize).min(trees.len() - 1);
+                assert_eq!(trees[idx].n(), n, "source tree size mismatch");
+                let same = !first && idx == self.seq_idx;
+                self.seq_idx = idx;
+                same
+            }
+            SourceKind::Seeded { seed, n: sn } => {
+                assert_eq!(*sn, n, "seeded source built for a different n");
+                let rng = self.rng.get_or_insert_with(|| StdRng::seed_from_u64(*seed));
+                self.current = Some(random::uniform(n, rng));
+                false
+            }
+        };
+
+        // Nodes whose parent this round's reroot changes, in base-tree
+        // coordinates. The first round needs no delta at all (the initial
+        // frontier *is* the source set), but feeding the reroot path is
+        // harmless and keeps the cases uniform.
+        let curr_path: Vec<NodeId> = match reroot {
+            Some(r) => self.base().path_to_root(r),
+            None => Vec::new(),
+        };
+
+        // Between two rounds over the same base, parents can differ only
+        // on the previous and current reroot paths. A new base invalidates
+        // everything.
+        let use_all = !first && !same_base;
+        self.changed_buf.clear();
+        if !use_all {
+            self.changed_buf.extend_from_slice(&self.prev_reroot_path);
+            self.changed_buf.extend_from_slice(&curr_path);
+        }
+        self.prev_reroot_path = curr_path;
+        self.effective = reroot.map(|r| self.base().rerooted(r));
+
+        let tree = self.effective.as_ref().unwrap_or_else(|| self.base());
+        let delta = if use_all {
+            RoundDelta::All
+        } else if self.changed_buf.is_empty() {
+            RoundDelta::Unchanged
+        } else {
+            RoundDelta::Changed(&self.changed_buf)
+        };
+        FrontierRound { tree, delta }
+    }
+}
+
+/// Runs `source` against `workload` on the frontier engine — the sparse
+/// counterpart of [`crate::run_workload`], with identical report
+/// semantics (and, like it, an empty `fault_log`).
+///
+/// # Examples
+///
+/// ```
+/// use treecast_core::frontier::{run_workload_frontier, FrontierSource};
+/// use treecast_core::{run_workload, Broadcast, SimulationConfig, StaticSource};
+/// use treecast_trees::generators;
+///
+/// let n = 64;
+/// let cfg = SimulationConfig::for_n(n);
+/// let sparse = run_workload_frontier(
+///     n,
+///     &mut FrontierSource::fixed(generators::path(n)),
+///     &Broadcast,
+///     cfg,
+/// );
+/// let dense = run_workload(n, &mut StaticSource::new(generators::path(n)), &Broadcast, cfg);
+/// assert_eq!(sparse.completion_time, dense.completion_time);
+/// assert_eq!(sparse.rounds, dense.rounds);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`, a source node is out of range, or the tree source
+/// produces a tree of the wrong size.
+pub fn run_workload_frontier<W: Workload + ?Sized>(
+    n: usize,
+    source: &mut FrontierSource,
+    workload: &W,
+    config: SimulationConfig,
+) -> WorkloadReport {
+    // Quiet rounds skip log recording entirely: a million-round run must
+    // not retain a million `RoundFaults`.
+    run_frontier_inner(
+        n,
+        source,
+        workload,
+        &mut NoFaults,
+        config,
+        false,
+        |_, _, _| {},
+    )
+}
+
+/// Runs `source` against `workload` under `faults` on the frontier engine
+/// — the sparse counterpart of [`crate::run_workload_faulty`], mirroring
+/// its per-round call sequence exactly (fault query, normalization,
+/// re-rooting, offline masking, losses, logging) so the recorded
+/// [`WorkloadReport::fault_log`] is bit-identical to the dense runner's
+/// and replays through
+/// [`FaultSchedule::replay`](crate::scenario::FaultSchedule::replay).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, a fault names a node `>= n`, or the tree source
+/// produces a tree of the wrong size.
+pub fn run_workload_frontier_faulty<W, F>(
+    n: usize,
+    source: &mut FrontierSource,
+    workload: &W,
+    faults: &mut F,
+    config: SimulationConfig,
+) -> WorkloadReport
+where
+    W: Workload + ?Sized,
+    F: FaultModel + ?Sized,
+{
+    run_frontier_inner(n, source, workload, faults, config, true, |_, _, _| {})
+}
+
+/// [`run_workload_frontier_faulty`] with a per-round hook, mirroring
+/// [`crate::run_workload_faulty_traced`]: called after every executed
+/// round (losses applied) with the round's faults, the effective tree,
+/// and the state — the witness the differential suite compares
+/// round-for-round against the dense oracle's trace.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_workload_frontier_faulty`].
+pub fn run_workload_frontier_faulty_traced<W, F>(
+    n: usize,
+    source: &mut FrontierSource,
+    workload: &W,
+    faults: &mut F,
+    config: SimulationConfig,
+    on_round: impl FnMut(&RoundFaults, &RootedTree, &FrontierState),
+) -> WorkloadReport
+where
+    W: Workload + ?Sized,
+    F: FaultModel + ?Sized,
+{
+    run_frontier_inner(n, source, workload, faults, config, true, on_round)
+}
+
+fn run_frontier_inner<W, F>(
+    n: usize,
+    source: &mut FrontierSource,
+    workload: &W,
+    faults: &mut F,
+    config: SimulationConfig,
+    record_log: bool,
+    mut on_round: impl FnMut(&RoundFaults, &RootedTree, &FrontierState),
+) -> WorkloadReport
+where
+    W: Workload + ?Sized,
+    F: FaultModel + ?Sized,
+{
+    let sources = match workload.sources(n) {
+        SourceSet::All => (0..n).collect(),
+        SourceSet::Nodes(nodes) => nodes,
+    };
+    let mut state = FrontierState::new(n, &sources);
+    let mut progress = state.progress();
+    let mut completion_time = workload.is_complete(&progress).then_some(0);
+    let mut broadcast_time = (progress.disseminated >= 1).then_some(0);
+    let mut fault_log: Vec<RoundFaults> = Vec::new();
+
+    while completion_time.is_none() && state.round() < config.max_rounds {
+        let mut rf = faults.faults(state.round() + 1, n);
+        rf.normalize(n);
+        let round = source.next_round(n, rf.root);
+        state.apply_round(round.tree, round.delta, &rf.offline);
+        for &y in &rf.losses {
+            state.forget(y);
+        }
+        on_round(&rf, round.tree, &state);
+        if record_log {
+            fault_log.push(rf);
+        }
+        progress = state.progress();
+        if workload.is_complete(&progress) {
+            completion_time = Some(progress.round);
+        }
+        if broadcast_time.is_none() && progress.disseminated >= 1 {
+            broadcast_time = Some(state.round());
+        }
+    }
+
+    WorkloadReport {
+        n,
+        workload: workload.name(),
+        source: source.name(),
+        rounds: state.round(),
+        outcome: if completion_time.is_some() {
+            WorkloadOutcome::Completed
+        } else {
+            WorkloadOutcome::RoundLimit
+        },
+        completion_time,
+        broadcast_time,
+        disseminated: progress.disseminated,
+        tokens: progress.tokens,
+        fault_log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_workload_faulty, FaultSchedule, RotatingRoot, SeededFaults};
+    use crate::workload::{run_workload, Broadcast, Gossip, KBroadcast};
+    use treecast_trees::generators;
+
+    fn assert_reports_match(sparse: &WorkloadReport, dense: &WorkloadReport, ctx: &str) {
+        assert_eq!(sparse.completion_time, dense.completion_time, "{ctx}");
+        assert_eq!(sparse.broadcast_time, dense.broadcast_time, "{ctx}");
+        assert_eq!(sparse.rounds, dense.rounds, "{ctx}");
+        assert_eq!(sparse.disseminated, dense.disseminated, "{ctx}");
+        assert_eq!(sparse.tokens, dense.tokens, "{ctx}");
+        assert_eq!(sparse.source, dense.source, "{ctx}");
+    }
+
+    #[test]
+    fn static_path_matches_dense_broadcast() {
+        for n in [2usize, 7, 64, 65] {
+            let cfg = SimulationConfig::for_n(n);
+            let mut src = FrontierSource::fixed(generators::path(n));
+            let mut twin = src.dense_twin(cfg.max_rounds);
+            let sparse = run_workload_frontier(n, &mut src, &Broadcast, cfg);
+            let dense = run_workload(n, &mut twin, &Broadcast, cfg);
+            assert_reports_match(&sparse, &dense, &format!("path n = {n}"));
+        }
+    }
+
+    #[test]
+    fn rotating_stars_match_dense_gossip() {
+        let n = 9;
+        let cfg = SimulationConfig::for_n(n);
+        let schedule: Vec<_> = (0..n).map(|c| generators::star_with_center(n, c)).collect();
+        let mut src = FrontierSource::sequence(schedule);
+        let mut twin = src.dense_twin(cfg.max_rounds);
+        let sparse = run_workload_frontier(n, &mut src, &Gossip, cfg);
+        let dense = run_workload(n, &mut twin, &Gossip, cfg);
+        assert_reports_match(&sparse, &dense, "rotating stars");
+    }
+
+    #[test]
+    fn seeded_source_twin_replays_the_same_trees() {
+        let n = 33;
+        let cfg = SimulationConfig::for_n(n).with_max_rounds(48);
+        let mut src = FrontierSource::seeded(n, 0xF007);
+        let mut twin = src.dense_twin(cfg.max_rounds);
+        let sparse = run_workload_frontier(n, &mut src, &Gossip, cfg);
+        let dense = run_workload(n, &mut twin, &Gossip, cfg);
+        assert_reports_match(&sparse, &dense, "seeded gossip");
+    }
+
+    #[test]
+    fn faulty_run_matches_dense_and_replays() {
+        let n = 24;
+        let cfg = SimulationConfig::for_n(n).with_max_rounds(64);
+        let mut model = SeededFaults::new(0xFE17)
+            .with_token_loss(15)
+            .with_dropout(10, 2)
+            .with_root_changes(25);
+        let mut src = FrontierSource::seeded(n, 42);
+        let mut twin = src.dense_twin(cfg.max_rounds);
+        let sparse =
+            run_workload_frontier_faulty(n, &mut src, &KBroadcast::new(3), &mut model, cfg);
+        let mut replay = FaultSchedule::replay(&sparse.fault_log);
+        let dense = run_workload_faulty(n, &mut twin, &KBroadcast::new(3), &mut replay, cfg);
+        assert_reports_match(&sparse, &dense, "seeded faults");
+        assert_eq!(sparse.fault_log, dense.fault_log, "fault logs must replay");
+    }
+
+    #[test]
+    fn rotating_root_on_static_path_matches_dense() {
+        let n = 12;
+        let cfg = SimulationConfig::for_n(n);
+        let mut src = FrontierSource::fixed(generators::path(n));
+        let mut twin = src.dense_twin(cfg.max_rounds);
+        let sparse =
+            run_workload_frontier_faulty(n, &mut src, &Broadcast, &mut RotatingRoot::new(2), cfg);
+        let dense = run_workload_faulty(n, &mut twin, &Broadcast, &mut RotatingRoot::new(2), cfg);
+        assert_reports_match(&sparse, &dense, "rotating root");
+        assert_eq!(sparse.fault_log, dense.fault_log);
+    }
+
+    #[test]
+    fn forget_reopens_a_full_token() {
+        let n = 5;
+        let mut state = FrontierState::new(n, &[0]);
+        let star = generators::star(n);
+        state.apply_round(&star, RoundDelta::Unchanged, &[]);
+        assert_eq!(state.disseminated_count(), 1);
+        state.forget(3);
+        assert_eq!(state.disseminated_count(), 0);
+        assert!(!state.holders(0).contains(3));
+        state.apply_round(&star, RoundDelta::Unchanged, &[]);
+        assert_eq!(state.disseminated_count(), 1, "deferred node re-informed");
+    }
+
+    #[test]
+    fn offline_nodes_defer_but_keep_memory() {
+        let n = 4;
+        let mut state = FrontierState::new(n, &[0]);
+        let path = generators::path(n);
+        state.apply_round(&path, RoundDelta::Unchanged, &[1]);
+        // Edge (0, 1) was masked: nothing moved, node 1 keeps its memory.
+        assert_eq!(state.holders(0).len(), 1);
+        state.apply_round(&path, RoundDelta::Unchanged, &[]);
+        assert!(state.holders(0).contains(1), "deferred candidate caught up");
+    }
+
+    #[test]
+    fn static_path_frontier_stays_constant_size() {
+        // The O(1)-per-round claim: on the static path the per-round
+        // candidate set never exceeds a couple of nodes.
+        let n = 512;
+        let mut src = FrontierSource::fixed(generators::path(n));
+        let mut state = FrontierState::new(n, &[0]);
+        for _ in 0..n - 1 {
+            let round = src.next_round(n, None);
+            state.apply_round(round.tree, round.delta, &[]);
+            assert!(state.tokens[0].frontier.len() <= 1);
+            assert!(state.tokens[0].deferred.is_empty());
+        }
+        assert!(state.holders(0).is_full());
+    }
+
+    #[test]
+    fn single_node_completes_at_round_zero() {
+        let mut src = FrontierSource::fixed(generators::star(1));
+        let r = run_workload_frontier(1, &mut src, &Gossip, SimulationConfig::for_n(1));
+        assert_eq!(r.completion_time, Some(0));
+        assert_eq!(r.rounds, 0);
+    }
+}

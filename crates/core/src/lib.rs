@@ -26,6 +26,10 @@
 //!   workload lattice (token loss, dynamic root reassignment, node
 //!   dropout/rejoin), every run replayable from its recorded
 //!   [`WorkloadReport::fault_log`];
+//! * [`frontier`] / [`run_workload_frontier`] — a second, frontier-sparse
+//!   engine whose rounds cost O(newly informed) instead of O(n²/64),
+//!   scaling the same workloads and faults to n = 10⁶ and pinned
+//!   round-for-round to the dense engine by a differential test layer;
 //! * [`MetricsRecorder`] — the matrix-evolution quantities of the paper's
 //!   Section 3 analysis, observable round by round;
 //! * [`CertObserver`] / [`cert::check_theorem`] — runtime certificates for
@@ -54,6 +58,7 @@
 pub mod bounds;
 pub mod cert;
 mod engine;
+pub mod frontier;
 pub mod metrics;
 mod model;
 pub mod scenario;
@@ -63,6 +68,10 @@ pub use cert::{CertObserver, TheoremVerdict, Violation};
 pub use engine::{
     simulate, simulate_observed, Observer, RunOutcome, RunReport, SequenceSource, SimulationConfig,
     StaticSource, StopCondition, TreeSource,
+};
+pub use frontier::{
+    run_workload_frontier, run_workload_frontier_faulty, run_workload_frontier_faulty_traced,
+    FrontierRound, FrontierSource, FrontierState, RoundDelta,
 };
 pub use metrics::{MetricsRecorder, RoundMetrics};
 pub use model::BroadcastState;

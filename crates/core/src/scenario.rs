@@ -66,12 +66,13 @@ impl RoundFaults {
     }
 
     /// Sorts and deduplicates the node lists and bounds-checks everything
-    /// against `n`.
+    /// against `n`. Crate-visible so the frontier runner normalizes
+    /// identically to the dense one.
     ///
     /// # Panics
     ///
     /// Panics if any named node is `>= n`.
-    fn normalize(&mut self, n: usize) {
+    pub(crate) fn normalize(&mut self, n: usize) {
         self.losses.sort_unstable();
         self.losses.dedup();
         self.offline.sort_unstable();
