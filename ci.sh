@@ -4,11 +4,11 @@
 #   ./ci.sh [quick|full|release] [--fix]
 #
 #   quick    fmt check, release build, tests, bench smoke, frontier
-#            smoke (n = 10^4), docs (skips the bench regression gates
-#            and the --ignored tier)
-#   full     quick + the compose/solver/workloads/adversary/frontier
-#            bench gates and the release-mode differential/scenario
-#            proptests (default)
+#            smoke (n = 10^4), server smoke (n = 64), docs (skips the
+#            bench regression gates and the --ignored tier)
+#   full     quick + the compose/solver/workloads/adversary/frontier/
+#            server bench gates and the release-mode differential/
+#            scenario proptests (default)
 #   release  full + the slow --ignored solver tier, the beam width
 #            sweep, and the frontier scale rows (n = 10^6)
 #   --fix    apply rustfmt instead of failing on drift
@@ -62,7 +62,7 @@ step_fmt() {
     # shellcheck disable=SC2086 # intentional word splitting of the flag
     cargo fmt $FMT_MODE || return 1
     local shim
-    for shim in vendor/rand vendor/proptest vendor/criterion; do
+    for shim in vendor/rand vendor/proptest vendor/criterion vendor/serde vendor/serde_derive; do
         # shellcheck disable=SC2086
         (cd "$shim" && cargo fmt $FMT_MODE) || return 1
     done
@@ -82,6 +82,12 @@ run_step "bench smoke (criterion test mode)" cargo test -q -p treecast-bench --b
 # gated comparison runs in the full tier below.
 run_step "frontier smoke (n = 10^4, release)" \
     cargo run --release -p treecast-bench --bin bench_frontier
+# Server smoke: the cached query engine on a toy load shape (n = 64,
+# 300 requests) — asserts the primed stream runs fully warm and beats
+# the uncached engine. The gated full-size comparison is in the full
+# tier below.
+run_step "server smoke (n = 64, release)" \
+    cargo run --release -p treecast-bench --bin bench_server -- --smoke
 
 if [[ "$TIER" != quick ]]; then
     # Each gate re-measures, writes results/BENCH_<x>.json and compares
@@ -102,6 +108,9 @@ if [[ "$TIER" != quick ]]; then
     run_step "frontier bench gate (exact rounds + sweep wall, n = 10^4)" \
         cargo run --release -p treecast-bench --bin bench_frontier -- \
         --check results/BENCH_frontier_baseline.json
+    run_step "server bench gate (exact cells + warm wall + 5x floor)" \
+        cargo run --release -p treecast-bench --bin bench_server -- \
+        --check results/BENCH_server_baseline.json
     # The beam/greedy/exact differential harness, the fault-layer
     # scenario properties, and the sparse-vs-dense frontier differential
     # suite, in release mode (they also run in the debug tier-1 pass;
@@ -110,6 +119,10 @@ if [[ "$TIER" != quick ]]; then
         cargo test -q --release --test adversary_differential --test scenarios
     run_step "frontier differential proptests (release)" \
         cargo test -q --release --test frontier_differential --test edge_cases
+    # Cached server == uncached server == direct engine, across every
+    # workload, faults included (also in the debug tier-1 pass).
+    run_step "server differential tests (release)" \
+        cargo test -q --release -p treecast --test server_differential
 fi
 
 if [[ "$TIER" == release ]]; then

@@ -1,0 +1,113 @@
+//! Server benchmark: cold/uncached vs warm/cached batched query serving
+//! at `n = 1024` over a Zipf-skewed request mix; emits
+//! `results/BENCH_server.json`.
+//!
+//! ```text
+//! cargo run --release -p treecast-bench --bin bench_server
+//! cargo run --release -p treecast-bench --bin bench_server -- --smoke
+//! cargo run --release -p treecast-bench --bin bench_server -- \
+//!     --check results/BENCH_server_baseline.json   # CI gate
+//! ```
+//!
+//! `--smoke` runs the toy shape (quick CI tier): same procedure, asserts
+//! the warm pass runs entirely from the cache and beats the uncached
+//! engine, writes nothing. The full run writes the report; with `--check
+//! <baseline>` it additionally exits nonzero if (a) any exact cell —
+//! per-rank completion rounds, warm hit/miss counters, hit rate — drifts
+//! from the baseline (never skipped), or (b) the warm ns/request
+//! regresses more than 25% or the warm-over-cold speedup drops below 5×
+//! (both skippable via `TREECAST_BENCH_GATE=off`).
+
+use treecast_bench::gate::{check_arg, enforce_exact, enforce_wall, wall_gate_disabled};
+use treecast_bench::serverbench::{full_load, measure, smoke_load, ServerBenchReport, MIN_SPEEDUP};
+
+fn print_report(report: &ServerBenchReport) {
+    println!(
+        "pool completions (rounds, rank order): {:?}",
+        report.completion_rounds
+    );
+    println!(
+        "warm pass: {} requests, hits={} misses={} (hit rate {}‰)",
+        report.load.requests, report.warm_hits, report.warm_misses, report.warm_hit_rate_permille
+    );
+    println!(
+        "cold {:.0} ns/req vs warm {:.0} ns/req → {:.1}x speedup",
+        report.cold_ns_per_request, report.warm_ns_per_request, report.speedup
+    );
+    println!(
+        "warm qps {:.0}, latency p50/p99/p999 = {}/{}/{} ns, threaded qps {:.0} ({} workers)",
+        report.warm_qps,
+        report.p50_ns,
+        report.p99_ns,
+        report.p999_ns,
+        report.threaded_qps,
+        report.workers
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        println!("running the smoke shape...");
+        let report = measure(&smoke_load());
+        print_report(&report);
+        assert_eq!(report.warm_misses, 0, "smoke: warm pass must be all hits");
+        assert!(
+            report.speedup > 1.0,
+            "smoke: the cache must beat the uncached engine"
+        );
+        println!("smoke ok");
+        return;
+    }
+    let check_baseline = check_arg(&args);
+
+    println!("running the full server bench (n = {})...", full_load().n);
+    let report = measure(&full_load());
+    print_report(&report);
+
+    let out_path = std::path::Path::new("results/BENCH_server.json");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(out_path, serde::json::to_string_pretty(&report) + "\n")
+        .expect("write BENCH_server.json");
+    println!("wrote {}", out_path.display());
+
+    let Some(baseline_path) = check_baseline else {
+        return;
+    };
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let baseline: ServerBenchReport = serde::json::from_str(&text)
+        .unwrap_or_else(|e| panic!("cannot parse baseline {baseline_path}: {e}"));
+
+    // Half 1: exact result/cache cells, never skipped.
+    let current = report.exact_cells();
+    enforce_exact(
+        &current,
+        &baseline.exact_cells(),
+        &format!(
+            "gate ok: all {} completion/cache cells match the baseline exactly",
+            current.len()
+        ),
+    );
+
+    // Half 2: wall time and the speedup floor, skippable.
+    enforce_wall(
+        "warm_serve",
+        report.warm_ns_per_request,
+        baseline.warm_ns_per_request,
+        |ns| format!("{ns:.0} ns/request"),
+    );
+    if wall_gate_disabled() {
+        println!("gate skipped: speedup floor (TREECAST_BENCH_GATE=off)");
+    } else {
+        assert!(
+            report.speedup >= MIN_SPEEDUP,
+            "warm-over-cold speedup {:.1}x fell below the {MIN_SPEEDUP}x floor",
+            report.speedup
+        );
+        println!(
+            "gate ok: speedup {:.1}x >= {MIN_SPEEDUP}x floor",
+            report.speedup
+        );
+    }
+}

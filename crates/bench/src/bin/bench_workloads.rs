@@ -15,7 +15,8 @@
 
 use treecast_bench::gate::{best_ns, check_arg, enforce_exact, enforce_wall};
 use treecast_bench::workloadbench::{
-    measure_rounds, parse_ns_per_round, parse_rounds, render_report, TrackedStepMeasurement,
+    measure_gossip_reduction, measure_rounds, parse_ns_per_round, parse_rounds, render_report,
+    TrackedStepMeasurement,
 };
 use treecast_core::TrackedTokens;
 use treecast_trees::generators;
@@ -70,7 +71,18 @@ fn main() {
         step.n, step.k, step.ns_per_round
     );
 
-    let report = render_report(&rounds, &step);
+    // The before/after record of the gossip-reduction fix: per-source
+    // from-scratch recomposition vs one shared composition per round.
+    let reduction = measure_gossip_reduction(48);
+    println!(
+        "gossip_reduction n={}: naive {:.1} ms vs shared {:.2} ms ({:.0}x)",
+        reduction.n,
+        reduction.naive_total_ns / 1e6,
+        reduction.shared_total_ns / 1e6,
+        reduction.speedup()
+    );
+
+    let report = render_report(&rounds, &step, &reduction);
     let out_path = std::path::Path::new("results/BENCH_workloads.json");
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write(out_path, &report).expect("write BENCH_workloads.json");

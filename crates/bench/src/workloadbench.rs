@@ -56,6 +56,70 @@ pub struct TrackedStepMeasurement {
     pub ns_per_round: f64,
 }
 
+/// Before/after record of the gossip-reduction fix: the superseded
+/// per-source from-scratch recomposition
+/// ([`treecast_core::prefix::gossip_time_naive_per_source`]) against the
+/// shared one-composition-per-round prefix stream
+/// ([`treecast_core::prefix::run_workload_prefixes`]) on the same
+/// schedule. Informational — the shared path's regression coverage is
+/// the server bench's wall gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipReductionMeasurement {
+    /// Network size.
+    pub n: usize,
+    /// Gossip completion round (identical under both reductions).
+    pub rounds: u64,
+    /// Total wall time of the naive per-source reduction, ns.
+    pub naive_total_ns: f64,
+    /// Total wall time of the shared prefix reduction, ns.
+    pub shared_total_ns: f64,
+}
+
+impl GossipReductionMeasurement {
+    /// `naive / shared` — how much the shared reduction saves.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.shared_total_ns > 0.0 {
+            self.naive_total_ns / self.shared_total_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Measures both gossip reductions on the rotating-star schedule at `n`
+/// (deterministic, completes for every `n ≥ 1`).
+///
+/// # Panics
+///
+/// Panics if the two reductions disagree on the completion round — they
+/// compute the same quantity by construction.
+#[must_use]
+pub fn measure_gossip_reduction(n: usize) -> GossipReductionMeasurement {
+    let trees: Vec<_> = (0..n).map(|c| generators::star_with_center(n, c)).collect();
+    let config = SimulationConfig::for_n(n);
+
+    let start = std::time::Instant::now();
+    let naive = treecast_core::prefix::gossip_time_naive_per_source(&trees, config.max_rounds);
+    let naive_total_ns = start.elapsed().as_nanos() as f64;
+
+    let start = std::time::Instant::now();
+    let mut prefixes = treecast_core::prefix::ComposedPrefixes::new(trees);
+    let shared = treecast_core::run_workload_prefixes(&mut prefixes, &Gossip, config);
+    let shared_total_ns = start.elapsed().as_nanos() as f64;
+
+    assert_eq!(
+        shared.completion_time, naive,
+        "the reductions must agree on the gossip time"
+    );
+    GossipReductionMeasurement {
+        n,
+        rounds: shared.completion_time.expect("rotating stars gossip"),
+        naive_total_ns,
+        shared_total_ns,
+    }
+}
+
 /// The workloads of the deterministic grid at size `n`, in report order.
 pub fn grid_workloads(n: usize) -> Vec<Box<dyn Workload>> {
     vec![
@@ -142,10 +206,14 @@ pub fn measure_rounds() -> Vec<WorkloadRound> {
     rows
 }
 
-/// Renders the two measurement halves as the `BENCH_workloads.json`
-/// document (line-oriented so [`parse_rounds`] / [`parse_ns_per_round`]
-/// can read it back without a JSON dependency).
-pub fn render_report(rounds: &[WorkloadRound], step: &TrackedStepMeasurement) -> String {
+/// Renders the measurement halves as the `BENCH_workloads.json` document
+/// (line-oriented so [`parse_rounds`] / [`parse_ns_per_round`] can read
+/// it back without a JSON dependency).
+pub fn render_report(
+    rounds: &[WorkloadRound],
+    step: &TrackedStepMeasurement,
+    reduction: &GossipReductionMeasurement,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"workloads\",\n");
     out.push_str("  \"rounds\": [\n");
@@ -169,6 +237,19 @@ pub fn render_report(rounds: &[WorkloadRound], step: &TrackedStepMeasurement) ->
     out.push_str(&format!("    \"n\": {},\n", step.n));
     out.push_str(&format!("    \"k\": {},\n", step.k));
     out.push_str(&format!("    \"ns_per_round\": {:.1}\n", step.ns_per_round));
+    out.push_str("  },\n");
+    out.push_str("  \"gossip_reduction\": {\n");
+    out.push_str(&format!("    \"n\": {},\n", reduction.n));
+    out.push_str(&format!("    \"rounds\": {},\n", reduction.rounds));
+    out.push_str(&format!(
+        "    \"naive_total_ns\": {:.0},\n",
+        reduction.naive_total_ns
+    ));
+    out.push_str(&format!(
+        "    \"shared_total_ns\": {:.0},\n",
+        reduction.shared_total_ns
+    ));
+    out.push_str(&format!("    \"speedup\": {:.1}\n", reduction.speedup()));
     out.push_str("  }\n}\n");
     out
 }
@@ -222,7 +303,11 @@ fn field_num(line: &str, key: &str) -> Option<i64> {
 mod tests {
     use super::*;
 
-    fn sample() -> (Vec<WorkloadRound>, TrackedStepMeasurement) {
+    fn sample() -> (
+        Vec<WorkloadRound>,
+        TrackedStepMeasurement,
+        GossipReductionMeasurement,
+    ) {
         (
             vec![
                 WorkloadRound {
@@ -243,27 +328,35 @@ mod tests {
                 k: 8,
                 ns_per_round: 1234.5,
             },
+            GossipReductionMeasurement {
+                n: 48,
+                rounds: 93,
+                naive_total_ns: 5.0e8,
+                shared_total_ns: 2.5e5,
+            },
         )
     }
 
     #[test]
     fn report_roundtrips_through_parser() {
-        let (rounds, step) = sample();
-        let doc = render_report(&rounds, &step);
+        let (rounds, step, reduction) = sample();
+        let doc = render_report(&rounds, &step, &reduction);
         let parsed = parse_rounds(&doc);
-        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed.len(), 2, "reduction fields must not parse as cells");
         assert_eq!(
             parsed[0],
             (("broadcast".into(), "static-path".into(), 16), 15)
         );
         assert_eq!(parsed[1].1, -1, "capped runs render as -1");
         assert_eq!(parse_ns_per_round(&doc), Some(1234.5));
+        assert!(doc.contains("\"naive_total_ns\": 500000000,"));
+        assert!(doc.contains("\"speedup\": 2000.0"));
     }
 
     #[test]
     fn report_is_json_shaped() {
-        let (rounds, step) = sample();
-        let doc = render_report(&rounds, &step);
+        let (rounds, step, reduction) = sample();
+        let doc = render_report(&rounds, &step, &reduction);
         assert!(doc.starts_with("{\n"));
         assert!(doc.ends_with("}\n"));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
@@ -287,6 +380,16 @@ mod tests {
             .completion_time
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn gossip_reductions_agree_and_sharing_wins() {
+        let m = measure_gossip_reduction(24);
+        assert!(m.rounds > 0);
+        assert!(
+            m.speedup() > 1.0,
+            "one shared composition per round must beat per-source recomposition: {m:?}"
+        );
     }
 
     #[test]

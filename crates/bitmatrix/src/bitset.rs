@@ -210,6 +210,13 @@ impl BitSet {
         &self.words
     }
 
+    /// Heap bytes held by the storage words — the byte-budget accounting
+    /// companion of [`BoolMatrix::heap_bytes`](crate::BoolMatrix::heap_bytes).
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
     /// Number of elements in the set (popcount).
     ///
     /// # Examples
@@ -859,6 +866,13 @@ mod tests {
         let mut s = BitSet::new(6);
         s.extend([5, 0, 5]);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn heap_bytes_matches_the_word_count() {
+        assert_eq!(BitSet::new(70).heap_bytes(), 2 * 8);
+        assert_eq!(BitSet::full(70).heap_bytes(), BitSet::new(70).heap_bytes());
+        assert_eq!(BitSet::new(0).heap_bytes(), 0);
     }
 
     #[test]

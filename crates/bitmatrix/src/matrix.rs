@@ -25,7 +25,14 @@ use crate::row::{RowMut, RowRef};
 
 /// Smallest `n` for which the auto-selected kernel shards rows across
 /// threads (only when more than one hardware thread is available).
-const PARALLEL_MIN_N: usize = 512;
+///
+/// Re-measured 2026-08: the `thread::scope` + 2-spawn overhead of the
+/// row-sharded path is ~35 µs, while a dense tiled compose costs ~18 µs
+/// at `n = 512` and ~41 µs at `n = 1024` — so even a perfect two-way
+/// split cannot recoup the spawn cost below `n ≈ 1400`. The threshold
+/// therefore sits at 2048 (~177 µs tiled), the first measured size
+/// where sharding pays for itself. See `crates/bench/README.md`.
+const PARALLEL_MIN_N: usize = 2048;
 
 /// Kernel selector for [`BoolMatrix::compose_into_with`].
 ///
@@ -199,6 +206,17 @@ impl BoolMatrix {
     #[inline]
     pub fn as_words(&self) -> &[u64] {
         &self.words
+    }
+
+    /// Heap bytes held by the flat storage (`n * words_per_row * 8`).
+    ///
+    /// This is the accounting unit of byte-budgeted caches (the server's
+    /// sharded prefix-product cache charges each entry
+    /// `heap_bytes() + O(1)`): deterministic, allocation-free, and
+    /// identical for equal-`n` matrices regardless of contents.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
     }
 
     /// The word slice of row `x`.
@@ -1476,6 +1494,19 @@ mod tests {
         let mut b = BoolMatrix::ones(5);
         b.clone_from(&a);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heap_bytes_is_content_independent_and_exact() {
+        // 70 bits per row → stride 2 words; 70 rows → 140 words = 1120 B.
+        let n = 70;
+        assert_eq!(BoolMatrix::zeros(n).heap_bytes(), n * 2 * 8);
+        assert_eq!(
+            BoolMatrix::ones(n).heap_bytes(),
+            BoolMatrix::zeros(n).heap_bytes(),
+            "the byte budget must not depend on matrix contents"
+        );
+        assert_eq!(BoolMatrix::zeros(0).heap_bytes(), 0);
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! The in-process client: a thin, latency-instrumented handle on a
+//! [`Server`].
+//!
+//! The server is a library engine, not a network daemon; the client's job
+//! is the call discipline around it — one place that owns the server,
+//! issues requests, and captures per-request wall time for the load
+//! generator's percentile accounting.
+
+use std::time::Instant;
+
+use treecast_server::{CacheStats, Request, Response, Server, ServerConfig};
+
+/// A client owning an in-process [`Server`].
+#[derive(Debug)]
+pub struct Client {
+    server: Server,
+}
+
+impl Client {
+    /// A client over a fresh server with the given geometry.
+    #[must_use]
+    pub fn new(config: ServerConfig) -> Self {
+        Client {
+            server: Server::new(config),
+        }
+    }
+
+    /// The underlying server (for cache inspection).
+    #[must_use]
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    /// Current cache counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.server.stats()
+    }
+
+    /// Issues one request on the calling thread.
+    #[must_use]
+    pub fn call(&self, request: &Request) -> Response {
+        self.server.serve(request)
+    }
+
+    /// Issues one request, returning the response and its wall time in
+    /// nanoseconds.
+    #[must_use]
+    pub fn call_timed(&self, request: &Request) -> (Response, u64) {
+        let start = Instant::now();
+        let response = self.server.serve(request);
+        let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        (response, elapsed)
+    }
+
+    /// Fans a batch over the server's worker pool; responses are
+    /// index-aligned with the requests.
+    #[must_use]
+    pub fn call_batch(&self, requests: &[Request]) -> Vec<Response> {
+        self.server.serve_batch(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treecast_server::{CacheConfig, WorkloadSpec};
+    use treecast_trees::generators;
+
+    #[test]
+    fn client_calls_pass_through_to_the_server() {
+        let client = Client::new(ServerConfig {
+            workers: 2,
+            cache: CacheConfig::default(),
+        });
+        let request = Request::BroadcastTime {
+            tree_sequence: vec![generators::path(10)],
+            workload: WorkloadSpec::Broadcast,
+            rounds: 0,
+        };
+        let (response, latency_ns) = client.call_timed(&request);
+        assert_eq!(response.report().unwrap().completion_time, Some(9));
+        assert!(latency_ns > 0);
+        let batch = client.call_batch(&[request.clone(), request]);
+        assert_eq!(batch[0], batch[1]);
+        assert_eq!(batch[0], response);
+        assert!(client.stats().hits > 0, "repeat calls hit the cache");
+    }
+}

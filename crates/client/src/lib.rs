@@ -1,0 +1,39 @@
+//! `treecast-client`: the in-process client and load generator for
+//! [`treecast_server`].
+//!
+//! * [`Client`] — owns a server, issues requests, captures per-request
+//!   wall time.
+//! * [`LoadGen`] — Zipf-skewed request streams over a seeded pool of
+//!   random tree sequences; [`LoadGen::run_serial`] produces a
+//!   [`LoadReport`] with qps, p50/p99/p999 latency, and cache hit rate.
+//!
+//! The `bench_server` binary in `treecast-bench` drives these against
+//! cached and uncached servers and gates the ratio in CI.
+//!
+//! # Examples
+//!
+//! ```
+//! use treecast_client::{Client, LoadConfig, LoadGen};
+//! use treecast_server::ServerConfig;
+//!
+//! let mut gen = LoadGen::new(LoadConfig {
+//!     n: 16,
+//!     pool_size: 4,
+//!     seq_len: 2,
+//!     requests: 100,
+//!     ..LoadConfig::default()
+//! });
+//! let client = Client::new(ServerConfig::default());
+//! let report = gen.run_serial(&client);
+//! assert_eq!(report.requests, 100);
+//! assert!(report.hit_rate > 0.0, "repeat asks run warm");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod loadgen;
+
+pub use client::Client;
+pub use loadgen::{percentile, LoadConfig, LoadGen, LoadReport};

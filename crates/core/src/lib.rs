@@ -22,6 +22,10 @@
 //! * [`Workload`] / [`run_workload`] — the companion paper's variant
 //!   workloads (arXiv:2211.10151): `k`-broadcast, all-to-all gossip, and
 //!   batched token-subset dissemination ([`TrackedTokens`]);
+//! * [`prefix`] / [`run_workload_prefixes`] — workload runs off a stream
+//!   of precomposed prefix products ([`PrefixProvider`]), composing each
+//!   reversed prefix exactly once for all sources — the hot path behind
+//!   the `treecast-server` prefix cache;
 //! * [`scenario`] / [`run_workload_faulty`] — the fault layer over the
 //!   workload lattice (token loss, dynamic root reassignment, node
 //!   dropout/rejoin), every run replayable from its recorded
@@ -61,6 +65,7 @@ mod engine;
 pub mod frontier;
 pub mod metrics;
 mod model;
+pub mod prefix;
 pub mod scenario;
 pub mod workload;
 
@@ -75,6 +80,7 @@ pub use frontier::{
 };
 pub use metrics::{MetricsRecorder, RoundMetrics};
 pub use model::BroadcastState;
+pub use prefix::{run_workload_prefixes, ComposedPrefixes, PrefixProvider, PrefixRound};
 pub use scenario::{
     run_workload_faulty, run_workload_faulty_traced, FaultModel, FaultSchedule, NoFaults,
     RotatingRoot, RoundFaults, SeededFaults,

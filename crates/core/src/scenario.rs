@@ -44,6 +44,7 @@ use crate::workload::run_workload;
 /// normalized (sorted, deduplicated, bounds-checked) and recorded verbatim
 /// into [`WorkloadReport::fault_log`] by the runner.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RoundFaults {
     /// Nodes that forget all foreign tokens at the end of the round.
     pub losses: Vec<NodeId>,

@@ -416,6 +416,7 @@ pub fn full_state_progress(state: &BroadcastState) -> WorkloadProgress {
 
 /// Why a workload run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum WorkloadOutcome {
     /// The workload's termination predicate fired.
     Completed,
@@ -425,7 +426,8 @@ pub enum WorkloadOutcome {
 }
 
 /// Summary of a finished workload run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WorkloadReport {
     /// Number of processes.
     pub n: usize,

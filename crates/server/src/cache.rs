@@ -1,0 +1,481 @@
+//! The sharded prefix-product cache: `(fingerprint, round) → prefix
+//! entry`, N shards, per-shard LRU with byte-budget eviction.
+//!
+//! * **Sharding** — the shard of a key is `splitmix64(fingerprint) %
+//!   shards` (re-mixed so the chain's own structure cannot skew the
+//!   distribution). One `Mutex` per shard keeps worker threads off each
+//!   other's hot keys.
+//! * **Entries** — an [`Arc`]`<`[`PrefixEntry`]`>` holding the heard-view
+//!   product `R(t)` *and* its memoized disseminated mask, so a warm
+//!   round costs a hash lookup plus one popcount instead of an
+//!   `O(n²/64)` composition and scan.
+//! * **Eviction** — true LRU via an intrusive doubly-linked list over a
+//!   slot arena; every insert charges
+//!   `BoolMatrix::heap_bytes + BitSet::heap_bytes + ENTRY_OVERHEAD`
+//!   against the shard's slice of the byte budget and evicts from the
+//!   tail until back under it. A budget of 0 therefore caches nothing —
+//!   the "uncached" baseline the bench gate compares against.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use treecast_bitmatrix::{BitSet, BoolMatrix};
+use treecast_core::prefix::disseminated_mask;
+
+use crate::fingerprint::splitmix64;
+
+/// Fixed per-entry bookkeeping charge (slot, map entry, Arc) added to the
+/// heap bytes of the matrix and mask.
+pub const ENTRY_OVERHEAD_BYTES: usize = 64;
+
+/// A cached prefix product: the heard-view matrix and its memoized
+/// disseminated-token mask.
+#[derive(Debug)]
+pub struct PrefixEntry {
+    heard: BoolMatrix,
+    disseminated: BitSet,
+}
+
+impl PrefixEntry {
+    /// An entry for the product `heard`, computing the mask once.
+    #[must_use]
+    pub fn new(heard: BoolMatrix) -> Self {
+        let mut disseminated = BitSet::new(heard.n());
+        disseminated_mask(&heard, &mut disseminated);
+        PrefixEntry {
+            heard,
+            disseminated,
+        }
+    }
+
+    /// The heard-view prefix product `R(t)`.
+    #[must_use]
+    pub fn heard(&self) -> &BoolMatrix {
+        &self.heard
+    }
+
+    /// The disseminated-token mask (AND of all `heard` rows).
+    #[must_use]
+    pub fn disseminated(&self) -> &BitSet {
+        &self.disseminated
+    }
+
+    /// The bytes this entry charges against the budget.
+    #[must_use]
+    pub fn cost_bytes(&self) -> usize {
+        self.heard.heap_bytes() + self.disseminated.heap_bytes() + ENTRY_OVERHEAD_BYTES
+    }
+}
+
+/// Cache geometry: shard count and the *total* byte budget (split evenly
+/// across shards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of independently locked shards.
+    pub shards: usize,
+    /// Total byte budget across all shards; 0 disables caching.
+    pub byte_budget: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 16,
+            byte_budget: 256 << 20,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A config caching nothing — the uncached baseline.
+    #[must_use]
+    pub fn disabled() -> Self {
+        CacheConfig {
+            shards: 1,
+            byte_budget: 0,
+        }
+    }
+}
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found their key.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Bytes currently charged.
+    pub bytes: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when none happened).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+type Key = (u64, u64);
+
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    key: Key,
+    entry: Arc<PrefixEntry>,
+    bytes: usize,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: key map + slot arena + intrusive LRU list (head = MRU).
+#[derive(Default)]
+struct Shard {
+    map: HashMap<Key, usize>,
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: usize,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            head: NIL,
+            tail: NIL,
+            ..Shard::default()
+        }
+    }
+
+    fn slot(&self, i: usize) -> &Slot {
+        self.slots[i].as_ref().expect("linked slot must be live")
+    }
+
+    fn slot_mut(&mut self, i: usize) -> &mut Slot {
+        self.slots[i].as_mut().expect("linked slot must be live")
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = {
+            let s = self.slot(i);
+            (s.prev, s.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slot_mut(p).next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            x => self.slot_mut(x).prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        let old_head = self.head;
+        {
+            let s = self.slot_mut(i);
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        match old_head {
+            NIL => self.tail = i,
+            h => self.slot_mut(h).prev = i,
+        }
+        self.head = i;
+    }
+
+    fn touch(&mut self, i: usize) {
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+    }
+
+    fn evict_tail(&mut self) {
+        let i = self.tail;
+        if i == NIL {
+            return;
+        }
+        self.unlink(i);
+        let slot = self.slots[i].take().expect("tail slot must be live");
+        self.map.remove(&slot.key);
+        self.bytes -= slot.bytes;
+        self.free.push(i);
+    }
+
+    fn insert(&mut self, key: Key, entry: Arc<PrefixEntry>, budget: usize) {
+        if let Some(&i) = self.map.get(&key) {
+            // Concurrent workers can race to fill the same key; the first
+            // wins and the duplicate is dropped as a touch.
+            self.touch(i);
+            return;
+        }
+        let bytes = entry.cost_bytes();
+        let slot = Slot {
+            key,
+            entry,
+            bytes,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(slot);
+                i
+            }
+            None => {
+                self.slots.push(Some(slot));
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+        self.bytes += bytes;
+        // Byte-budget eviction from the LRU tail; an entry alone above
+        // the budget evicts straight back out (budget 0 caches nothing).
+        while self.bytes > budget && self.tail != NIL {
+            self.evict_tail();
+        }
+    }
+}
+
+/// The sharded `(fingerprint, round) → Arc<PrefixEntry>` cache.
+pub struct PrefixCache {
+    shards: Vec<Mutex<Shard>>,
+    budget_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PrefixCache {
+    /// A cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards == 0`.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.shards >= 1, "need at least one shard");
+        PrefixCache {
+            shards: (0..config.shards)
+                .map(|_| Mutex::new(Shard::new()))
+                .collect(),
+            budget_per_shard: config.byte_budget / config.shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The shard index of a fingerprint (re-mixed, then reduced).
+    #[must_use]
+    pub fn shard_of(&self, fingerprint: u64) -> usize {
+        (splitmix64(fingerprint) % self.shards.len() as u64) as usize
+    }
+
+    /// Looks up the prefix product of `(fingerprint, round)`, counting a
+    /// hit or miss and refreshing recency on hit.
+    #[must_use]
+    pub fn get(&self, fingerprint: u64, round: u64) -> Option<Arc<PrefixEntry>> {
+        let mut shard = self.shards[self.shard_of(fingerprint)]
+            .lock()
+            .expect("cache shard poisoned");
+        match shard.map.get(&(fingerprint, round)).copied() {
+            Some(i) => {
+                shard.touch(i);
+                let entry = Arc::clone(&shard.slot(i).entry);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly composed prefix product, evicting LRU entries
+    /// past the shard's byte budget.
+    pub fn insert(&self, fingerprint: u64, round: u64, entry: Arc<PrefixEntry>) {
+        let budget = self.budget_per_shard;
+        self.shards[self.shard_of(fingerprint)]
+            .lock()
+            .expect("cache shard poisoned")
+            .insert((fingerprint, round), entry, budget);
+    }
+
+    /// Current counters, summed over shards.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0;
+        let mut bytes = 0;
+        for shard in &self.shards {
+            let s = shard.lock().expect("cache shard poisoned");
+            entries += s.map.len();
+            bytes += s.bytes;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+
+    /// Resets the hit/miss counters (resident entries stay).
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Entries resident per shard — the shard-distribution observable.
+    #[must_use]
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for PrefixCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrefixCache")
+            .field("shards", &self.shards.len())
+            .field("budget_per_shard", &self.budget_per_shard)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(n: usize) -> Arc<PrefixEntry> {
+        Arc::new(PrefixEntry::new(BoolMatrix::identity(n)))
+    }
+
+    fn cache(shards: usize, byte_budget: usize) -> PrefixCache {
+        PrefixCache::new(CacheConfig {
+            shards,
+            byte_budget,
+        })
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let c = cache(4, 1 << 20);
+        assert!(c.get(1, 1).is_none());
+        c.insert(1, 1, entry(8));
+        assert!(c.get(1, 1).is_some());
+        let stats = c.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!(stats.bytes > 0);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recent_at_the_byte_budget() {
+        // One shard; budget fits exactly two n = 8 entries.
+        let two = 2 * entry(8).cost_bytes();
+        let c = cache(1, two);
+        c.insert(1, 1, entry(8));
+        c.insert(2, 1, entry(8));
+        // Touch key 1 so key 2 is the LRU victim.
+        assert!(c.get(1, 1).is_some());
+        c.insert(3, 1, entry(8));
+        assert!(c.get(1, 1).is_some(), "recently touched entry survives");
+        assert!(c.get(2, 1).is_none(), "LRU entry evicted at the budget");
+        assert!(c.get(3, 1).is_some());
+        let stats = c.stats();
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes <= two);
+    }
+
+    #[test]
+    fn zero_budget_caches_nothing() {
+        let c = cache(2, 0);
+        c.insert(7, 3, entry(8));
+        assert!(c.get(7, 3).is_none());
+        assert_eq!(c.stats().entries, 0);
+        assert_eq!(c.stats().bytes, 0);
+    }
+
+    #[test]
+    fn round_is_part_of_the_key() {
+        // Fingerprint collisions cannot cross rounds: the same fp at
+        // different rounds stays two distinct entries.
+        let c = cache(4, 1 << 20);
+        let a = Arc::new(PrefixEntry::new(BoolMatrix::identity(8)));
+        let b = Arc::new(PrefixEntry::new(BoolMatrix::ones(8)));
+        c.insert(42, 1, Arc::clone(&a));
+        c.insert(42, 2, Arc::clone(&b));
+        assert!(Arc::ptr_eq(&c.get(42, 1).unwrap(), &a));
+        assert!(Arc::ptr_eq(&c.get(42, 2).unwrap(), &b));
+    }
+
+    #[test]
+    fn first_insert_wins_a_fill_race() {
+        let c = cache(1, 1 << 20);
+        let a = entry(8);
+        let b = entry(8);
+        c.insert(5, 1, Arc::clone(&a));
+        c.insert(5, 1, b);
+        assert!(Arc::ptr_eq(&c.get(5, 1).unwrap(), &a));
+        assert_eq!(c.stats().entries, 1);
+    }
+
+    #[test]
+    fn shards_spread_fingerprints() {
+        // Chained fingerprints must not pile onto one shard: over 256
+        // random-ish fingerprints and 8 shards, every shard sees some and
+        // no shard sees more than half.
+        let c = cache(8, 1 << 24);
+        for i in 0..256u64 {
+            c.insert(splitmix64(i), 1, entry(4));
+        }
+        let sizes = c.shard_sizes();
+        assert_eq!(sizes.len(), 8);
+        assert_eq!(sizes.iter().sum::<usize>(), 256);
+        assert!(sizes.iter().all(|&s| s > 0), "empty shard: {sizes:?}");
+        assert!(sizes.iter().all(|&s| s < 128), "skewed shard: {sizes:?}");
+    }
+
+    #[test]
+    fn entry_memoizes_the_disseminated_mask() {
+        let mut m = BoolMatrix::ones(5);
+        m.set(3, 2, false);
+        let e = PrefixEntry::new(m);
+        assert_eq!(
+            e.disseminated().iter().collect::<Vec<_>>(),
+            vec![0, 1, 3, 4]
+        );
+        assert_eq!(
+            e.cost_bytes(),
+            e.heard().heap_bytes() + e.disseminated().heap_bytes() + ENTRY_OVERHEAD_BYTES
+        );
+    }
+
+    #[test]
+    fn eviction_recycles_slots() {
+        let one = entry(8).cost_bytes();
+        let c = cache(1, one);
+        for fp in 0..64u64 {
+            c.insert(fp, 1, entry(8));
+        }
+        let stats = c.stats();
+        assert_eq!(stats.entries, 1, "only the newest entry fits");
+        assert!(c.get(63, 1).is_some());
+    }
+}

@@ -1,0 +1,116 @@
+//! Tree-sequence fingerprints: splitmix64 chaining over per-tree hashes.
+//!
+//! The cache keys every prefix product by `(fingerprint, round)`, where
+//! the fingerprint of a prefix `A₁, …, A_t` is a splitmix64 chain over
+//! the trees' structural hashes — the same finalizer family as
+//! `SearchState::fingerprint` and the solver's state table, chained so
+//! that prefixes sharing a stem share their fingerprints up to the first
+//! differing round:
+//!
+//! ```text
+//! fp₀ = SEED,    fp_t = splitmix64(fp_{t-1} ^ tree_hash(A_t))
+//! ```
+//!
+//! Two *different* sequences can collide only by a 64-bit hash accident
+//! (≈ 2⁻⁶⁴ per pair); the round component of the key is exact, so a
+//! collision can never confuse prefixes of different lengths — only two
+//! same-length prefixes with colliding chains (the residual risk every
+//! fingerprint cache carries).
+
+use treecast_trees::RootedTree;
+
+/// The chain's initial value — an arbitrary odd constant, fixed so
+/// fingerprints are stable across runs and hosts.
+pub const SEED: u64 = 0x51ED_2702_7F1E_CA5F;
+
+/// David Stafford's splitmix64 finalizer — the workspace's standard
+/// 64-bit mixer.
+#[inline]
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Structural hash of one round tree: `n`, the root, and the parent
+/// vector, splitmix-chained. Equal trees hash equal; any edge or root
+/// change reroutes the whole chain.
+#[must_use]
+pub fn tree_hash(tree: &RootedTree) -> u64 {
+    let mut h = splitmix64(tree.n() as u64 ^ SEED);
+    h = splitmix64(h ^ tree.root() as u64);
+    for parent in tree.parents() {
+        // +1 keeps `Some(0)` distinct from `None` (the root slot).
+        let token = parent.map_or(0, |p| p as u64 + 1);
+        h = splitmix64(h ^ token);
+    }
+    h
+}
+
+/// Extends a prefix fingerprint by one round.
+#[inline]
+#[must_use]
+pub fn chain(prefix: u64, tree_hash: u64) -> u64 {
+    splitmix64(prefix ^ tree_hash)
+}
+
+/// The fingerprint of the full prefix `trees[..len]` (a convenience for
+/// tests; the provider chains incrementally).
+#[must_use]
+pub fn sequence_fingerprint(trees: &[RootedTree]) -> u64 {
+    trees
+        .iter()
+        .fold(SEED, |fp, tree| chain(fp, tree_hash(tree)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treecast_trees::generators;
+
+    #[test]
+    fn equal_sequences_share_fingerprints() {
+        let a = vec![generators::path(6), generators::star(6)];
+        let b = vec![generators::path(6), generators::star(6)];
+        assert_eq!(sequence_fingerprint(&a), sequence_fingerprint(&b));
+    }
+
+    #[test]
+    fn any_tree_change_reroutes_the_chain() {
+        let base = vec![generators::path(6), generators::star(6)];
+        let other_tree = vec![generators::path(6), generators::star_with_center(6, 1)];
+        let other_order = vec![generators::star(6), generators::path(6)];
+        let shorter = vec![generators::path(6)];
+        let fp = sequence_fingerprint(&base);
+        assert_ne!(fp, sequence_fingerprint(&other_tree));
+        assert_ne!(fp, sequence_fingerprint(&other_order));
+        assert_ne!(fp, sequence_fingerprint(&shorter));
+    }
+
+    #[test]
+    fn shared_stems_share_prefix_fingerprints() {
+        // The chaining property the cache's cross-sequence sharing rides:
+        // sequences agreeing on their first t trees agree on fp_t.
+        let stem = vec![generators::path(5), generators::star(5)];
+        let mut a = stem.clone();
+        a.push(generators::path(5));
+        let mut b = stem.clone();
+        b.push(generators::star(5));
+        assert_eq!(sequence_fingerprint(&a[..2]), sequence_fingerprint(&b[..2]));
+        assert_ne!(sequence_fingerprint(&a), sequence_fingerprint(&b));
+    }
+
+    #[test]
+    fn root_and_size_are_part_of_the_hash() {
+        assert_ne!(
+            tree_hash(&generators::star_with_center(6, 0)),
+            tree_hash(&generators::star_with_center(6, 1))
+        );
+        assert_ne!(
+            tree_hash(&generators::path(6)),
+            tree_hash(&generators::path(7))
+        );
+    }
+}

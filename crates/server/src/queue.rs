@@ -1,0 +1,141 @@
+//! A minimal closeable MPMC job queue: `Mutex<VecDeque>` + `Condvar`.
+//!
+//! The server's worker pool pops jobs until the queue is closed *and*
+//! drained; producers push then close. No async runtime, no lock-free
+//! cleverness — at treecast query granularity (micro- to milliseconds
+//! per job) the mutex is nowhere near the bottleneck, and the blocking
+//! semantics compose directly with `std::thread::scope`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A multi-producer multi-consumer FIFO with explicit close.
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+}
+
+impl<T> Default for JobQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> JobQueue<T> {
+    /// An empty, open queue.
+    #[must_use]
+    pub fn new() -> Self {
+        JobQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job and wakes one waiting consumer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is already closed — closing is a promise that
+    /// no more work arrives, and a push after it is a caller bug.
+    pub fn push(&self, item: T) {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        assert!(!state.closed, "push after close");
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+    }
+
+    /// Closes the queue: consumers drain the remaining jobs, then every
+    /// [`JobQueue::pop`] returns `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("job queue poisoned").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Dequeues the next job, blocking while the queue is open and empty.
+    /// `None` means closed-and-drained — the worker's exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("job queue poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_then_none_after_close() {
+        let q = JobQueue::new();
+        q.push(1);
+        q.push(2);
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "closed queues stay closed");
+    }
+
+    #[test]
+    #[should_panic(expected = "push after close")]
+    fn push_after_close_is_a_bug() {
+        let q = JobQueue::new();
+        q.close();
+        q.push(1);
+    }
+
+    #[test]
+    fn workers_drain_a_shared_queue() {
+        let q = JobQueue::new();
+        for i in 0..100u32 {
+            q.push(i);
+        }
+        q.close();
+        let total: u32 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut sum = 0u32;
+                        while let Some(i) = q.pop() {
+                            sum += i;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, (0..100).sum());
+    }
+
+    #[test]
+    fn pop_blocks_until_work_or_close() {
+        let q = JobQueue::new();
+        std::thread::scope(|s| {
+            let consumer = s.spawn(|| q.pop());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            q.push(7);
+            assert_eq!(consumer.join().unwrap(), Some(7));
+            let waiter = s.spawn(|| q.pop());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            q.close();
+            assert_eq!(waiter.join().unwrap(), None);
+        });
+    }
+}

@@ -1,0 +1,155 @@
+//! Differential suite: the cache-backed query engine must be
+//! bit-identical to the direct simulation engine, and the cached and
+//! uncached server configurations must be bit-identical to each other —
+//! across `{broadcast, k-broadcast, gossip, k-source-broadcast}` ×
+//! `{no faults, seeded fault cocktail}`, comparing whole
+//! [`WorkloadReport`]s (round counts, outcomes, and fault logs
+//! included).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use treecast::core::{
+    run_workload, run_workload_faulty, SeededFaults, SequenceSource, SimulationConfig,
+};
+use treecast::trees::{generators, random, RootedTree};
+use treecast_server::{
+    CacheConfig, Request, Response, Schedule, Server, ServerConfig, WorkloadSpec,
+};
+
+const N: usize = 10;
+
+fn specs() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec::Broadcast,
+        WorkloadSpec::KBroadcast { k: 3 },
+        WorkloadSpec::Gossip,
+        WorkloadSpec::KSourceBroadcast {
+            sources: vec![0, N / 2],
+        },
+    ]
+}
+
+/// One adversarial schedule (rotating stars complete every workload)
+/// and one seeded uniform-random schedule, long enough that gossip
+/// finishes before the repeat-last tail.
+fn schedules() -> Vec<Vec<RootedTree>> {
+    let stars = (0..N).map(|c| generators::star_with_center(N, c)).collect();
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    let randoms = (0..4 * N).map(|_| random::uniform(N, &mut rng)).collect();
+    vec![stars, randoms]
+}
+
+fn cached() -> Server {
+    Server::new(ServerConfig {
+        workers: 2,
+        cache: CacheConfig::default(),
+    })
+}
+
+fn uncached() -> Server {
+    Server::new(ServerConfig {
+        workers: 2,
+        cache: CacheConfig::disabled(),
+    })
+}
+
+fn cocktail() -> SeededFaults {
+    SeededFaults::new(0xC0C7)
+        .with_token_loss(25)
+        .with_dropout(20, 2)
+        .with_root_changes(10)
+}
+
+#[test]
+fn fault_free_reports_agree_with_the_direct_engine() {
+    for trees in schedules() {
+        for spec in specs() {
+            let workload = spec.workload(N).expect("valid spec");
+            let mut source = SequenceSource::new(trees.clone());
+            let want = run_workload(
+                N,
+                &mut source,
+                workload.as_ref(),
+                SimulationConfig::for_n(N),
+            );
+
+            let request = Request::BroadcastTime {
+                tree_sequence: trees.clone(),
+                workload: spec.clone(),
+                rounds: 0,
+            };
+            let warm_server = cached();
+            // Cold pass, then a warm pass over the now-populated cache.
+            for pass in ["cold", "warm"] {
+                let Response::BroadcastTime { report } = warm_server.serve(&request) else {
+                    panic!("expected a broadcast-time response ({spec:?}, {pass})");
+                };
+                assert_eq!(report, want, "{spec:?} ({pass} cache)");
+            }
+            let Response::BroadcastTime { report } = uncached().serve(&request) else {
+                panic!("expected a broadcast-time response ({spec:?}, uncached)");
+            };
+            assert_eq!(report, want, "{spec:?} (uncached)");
+        }
+    }
+}
+
+#[test]
+fn seeded_fault_cocktails_replay_identically() {
+    let mut cocktail_fired = false;
+    for trees in schedules() {
+        for spec in specs() {
+            let workload = spec.workload(N).expect("valid spec");
+            let mut source = SequenceSource::new(trees.clone());
+            let mut faults = cocktail();
+            let recorded = run_workload_faulty(
+                N,
+                &mut source,
+                workload.as_ref(),
+                &mut faults,
+                SimulationConfig::for_n(N),
+            );
+            cocktail_fired |= recorded.fault_log.iter().any(|f| !f.is_quiet());
+
+            let request = Request::ScenarioReplay {
+                schedule: Schedule {
+                    trees: trees.clone(),
+                    faults: recorded.fault_log.clone(),
+                    workload: spec.clone(),
+                    rounds: 0,
+                },
+            };
+            let warm_server = cached();
+            for pass in ["cold", "warm"] {
+                let Response::ScenarioReplay { report } = warm_server.serve(&request) else {
+                    panic!("expected a scenario-replay response ({spec:?}, {pass})");
+                };
+                assert_eq!(report, recorded, "{spec:?} ({pass} cache)");
+                assert_eq!(report.fault_log, recorded.fault_log, "{spec:?} fault log");
+            }
+            let Response::ScenarioReplay { report } = uncached().serve(&request) else {
+                panic!("expected a scenario-replay response ({spec:?}, uncached)");
+            };
+            assert_eq!(report, recorded, "{spec:?} (uncached)");
+        }
+    }
+    assert!(cocktail_fired, "the seeded cocktail never applied a fault");
+}
+
+#[test]
+fn batched_serving_agrees_with_serial_serving() {
+    let requests: Vec<Request> = schedules()
+        .into_iter()
+        .flat_map(|trees| {
+            specs().into_iter().map(move |spec| Request::BroadcastTime {
+                tree_sequence: trees.clone(),
+                workload: spec,
+                rounds: 0,
+            })
+        })
+        .collect();
+    let server = cached();
+    let serial: Vec<Response> = requests.iter().map(|r| server.serve(r)).collect();
+    let batched = server.serve_batch(&requests);
+    assert_eq!(batched, serial);
+}

@@ -1,0 +1,665 @@
+//! Offline stand-in for `serde` + `serde_json`: exactly the API subset
+//! the treecast workspace uses, so `#[derive(serde::Serialize, serde::Deserialize)]`
+//! and JSON round-trips work without a registry.
+//!
+//! Unlike real serde's visitor architecture, this shim routes everything
+//! through one dynamic [`Value`] tree — `Serialize` renders into it,
+//! `Deserialize` reads from it, and [`json`] converts it to and from
+//! text. Orders of magnitude less machinery, same observable behavior
+//! for the shapes we derive (named-field structs; unit / newtype /
+//! struct enum variants, externally tagged like serde's default). Swap
+//! in the real crates by pointing the workspace dependency at a
+//! registry version and replacing `serde::json::*` call sites with
+//! `serde_json::*`.
+//!
+//! Integers ride an `i128`, so `u64` fingerprints and `i64` cells
+//! round-trip exactly; `f64` uses Rust's shortest round-trip `Display`.
+
+pub use serde_derive::{Deserialize as DeserializeDerive, Serialize as SerializeDerive};
+// Expose the derives under the trait names, like real serde's
+// `derive` feature: `#[derive(serde::Serialize)]` resolves to the macro
+// in the macro namespace and to the trait in the type namespace.
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// The dynamic data model every shimmed (de)serialization goes through.
+///
+/// Object fields keep insertion order (a `Vec`, not a map), so rendered
+/// JSON is deterministic — which the bench baselines diff on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also `None` and non-finite floats).
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// JSON integers; `i128` covers the full `u64` and `i64` ranges.
+    Int(i128),
+    /// JSON non-integer numbers.
+    Float(f64),
+    /// JSON strings.
+    Str(String),
+    /// JSON arrays.
+    Array(Vec<Value>),
+    /// JSON objects, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An object from `(name, value)` pairs, in order.
+    pub fn object<K: Into<String>, I: IntoIterator<Item = (K, Value)>>(pairs: I) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// The value of field `name` of an object.
+    ///
+    /// # Errors
+    ///
+    /// If `self` is not an object or has no such field.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::msg(format!("missing field `{name}`"))),
+            other => Err(Error::msg(format!(
+                "expected an object with field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Destructures a single-key object — the externally-tagged enum
+    /// encoding — into `(tag, inner)`.
+    ///
+    /// # Errors
+    ///
+    /// If `self` is not an object with exactly one field.
+    pub fn variant(&self) -> Result<(&str, &Value), Error> {
+        match self {
+            Value::Object(pairs) if pairs.len() == 1 => Ok((pairs[0].0.as_str(), &pairs[0].1)),
+            other => Err(Error::msg(format!(
+                "expected a single-key variant object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a bool",
+            Value::Int(_) => "an integer",
+            Value::Float(_) => "a float",
+            Value::Str(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        }
+    }
+}
+
+/// A (de)serialization failure, as one human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error carrying `message`.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` into the [`Value`] model. Derivable.
+pub trait Serialize {
+    /// The value-model rendering of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs `Self` from the [`Value`] model. Derivable.
+pub trait Deserialize: Sized {
+    /// Parses `value` into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first shape mismatch or missing field.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected a bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! int_impls {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                // Plain `as`: every supported integer type fits in i128
+                // (usize/isize lack a `From` impl but are ≤ 64 bits here).
+                Value::Int(*self as i128)
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Int(i) => <$ty>::try_from(*i).map_err(|_| {
+                        Error::msg(format!(
+                            "integer {i} out of range for {}",
+                            stringify!($ty)
+                        ))
+                    }),
+                    other => Err(Error::msg(format!(
+                        "expected an integer, got {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// usize/u64 ride i128 via From on every supported platform; u128 is not
+// representable in this model and intentionally unsupported.
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            // JSON cannot tell `2` from `2.0`; accept integers.
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(Error::msg(format!(
+                "expected a number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!(
+                "expected a string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!(
+                "expected an array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+/// JSON text ↔ [`Value`] — the `serde_json` corner of the shim.
+pub mod json {
+    use super::{Deserialize, Error, Serialize, Value};
+    use std::fmt::Write as _;
+
+    /// Compact JSON of any [`Serialize`] value.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        render(&value.to_value(), None, 0, &mut out);
+        out
+    }
+
+    /// Pretty-printed (two-space indented) JSON.
+    pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        render(&value.to_value(), Some(2), 0, &mut out);
+        out
+    }
+
+    /// Parses JSON text into any [`Deserialize`] type.
+    ///
+    /// # Errors
+    ///
+    /// A message with the byte offset of the first syntax error, or the
+    /// [`Deserialize`] impl's shape mismatch.
+    pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+        T::from_value(&value_from_str(text)?)
+    }
+
+    /// Parses JSON text into the raw [`Value`] model.
+    ///
+    /// # Errors
+    ///
+    /// A message with the byte offset of the first syntax error.
+    pub fn value_from_str(text: &str) -> Result<Value, Error> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(Error::msg(format!("trailing input at byte {pos}")));
+        }
+        Ok(value)
+    }
+
+    fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+        match value {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::Float(f) if f.is_finite() => {
+                // `Display` omits the point for integral floats; keep the
+                // token a float so it round-trips as one.
+                let mut token = format!("{f}");
+                if !token.contains(['.', 'e', 'E']) {
+                    token.push_str(".0");
+                }
+                out.push_str(&token);
+            }
+            Value::Float(_) => out.push_str("null"),
+            Value::Str(s) => render_string(s, out),
+            Value::Array(items) => {
+                render_seq(items.len(), indent, depth, out, '[', ']', |i, out| {
+                    render(&items[i], indent, depth + 1, out);
+                });
+            }
+            Value::Object(pairs) => {
+                render_seq(pairs.len(), indent, depth, out, '{', '}', |i, out| {
+                    render_string(&pairs[i].0, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    render(&pairs[i].1, indent, depth + 1, out);
+                });
+            }
+        }
+    }
+
+    fn render_seq(
+        len: usize,
+        indent: Option<usize>,
+        depth: usize,
+        out: &mut String,
+        open: char,
+        close: char,
+        mut item: impl FnMut(usize, &mut String),
+    ) {
+        out.push(open);
+        if len == 0 {
+            out.push(close);
+            return;
+        }
+        for i in 0..len {
+            if i > 0 {
+                out.push(',');
+            }
+            if let Some(width) = indent {
+                out.push('\n');
+                out.extend(std::iter::repeat(' ').take(width * (depth + 1)));
+            }
+            item(i, out);
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(width * depth));
+        }
+        out.push(close);
+    }
+
+    fn render_string(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+        if bytes[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{lit}` at byte {pos}",
+                pos = *pos
+            )))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => Err(Error::msg("unexpected end of input")),
+            Some(b'n') => expect(bytes, pos, "null").map(|()| Value::Null),
+            Some(b't') => expect(bytes, pos, "true").map(|()| Value::Bool(true)),
+            Some(b'f') => expect(bytes, pos, "false").map(|()| Value::Bool(false)),
+            Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => {
+                            return Err(Error::msg(format!(
+                                "expected `,` or `]` at byte {pos}",
+                                pos = *pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut pairs = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(bytes, pos)?;
+                    skip_ws(bytes, pos);
+                    expect(bytes, pos, ":")?;
+                    pairs.push((key, parse_value(bytes, pos)?));
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Object(pairs));
+                        }
+                        _ => {
+                            return Err(Error::msg(format!(
+                                "expected `,` or `}}` at byte {pos}",
+                                pos = *pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(_) => parse_number(bytes, pos),
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(Error::msg(format!(
+                "expected a string at byte {pos}",
+                pos = *pos
+            )));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err(Error::msg("unterminated string")),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::msg("invalid \\u escape"))?;
+                            // Surrogate pairs are not produced by the
+                            // renderer; reject them rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| Error::msg("invalid \\u code point"))?;
+                            out.push(c);
+                            *pos += 4;
+                        }
+                        _ => return Err(Error::msg("invalid escape")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&bytes[*pos..])
+                        .map_err(|_| Error::msg("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty by the match");
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        let start = *pos;
+        if bytes.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        let mut float = false;
+        while let Some(&b) = bytes.get(*pos) {
+            match b {
+                b'0'..=b'9' => *pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    *pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII digits are valid UTF-8");
+        if text.is_empty() || text == "-" {
+            return Err(Error::msg(format!("expected a number at byte {start}")));
+        }
+        if float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::msg(format!("invalid number `{text}` at byte {start}")))
+        } else {
+            text.parse::<i128>()
+                .map(Value::Int)
+                .map_err(|_| Error::msg(format!("invalid number `{text}` at byte {start}")))
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn scalars_round_trip() {
+            for text in ["null", "true", "false", "0", "-7", "18446744073709551615"] {
+                let v = value_from_str(text).unwrap();
+                assert_eq!(to_string(&v), text);
+            }
+            assert_eq!(
+                value_from_str("1.5").unwrap(),
+                Value::Float(1.5),
+                "floats parse as floats"
+            );
+            assert_eq!(to_string(&Value::Float(2.0)), "2.0");
+        }
+
+        #[test]
+        fn u64_max_is_exact() {
+            let v = u64::MAX.to_value();
+            let back: u64 = from_str(&to_string(&v)).unwrap();
+            assert_eq!(back, u64::MAX);
+        }
+
+        #[test]
+        fn strings_escape_and_unescape() {
+            let s = "a\"b\\c\nd\te\u{1}π".to_string();
+            let text = to_string(&s);
+            let back: String = from_str(&text).unwrap();
+            assert_eq!(back, s);
+        }
+
+        #[test]
+        fn arrays_objects_and_pretty_nesting() {
+            let v = Value::object([
+                ("xs", Value::Array(vec![Value::Int(1), Value::Int(2)])),
+                ("name", Value::Str("t".into())),
+                ("none", Value::Null),
+            ]);
+            let compact = to_string(&v);
+            assert_eq!(compact, r#"{"xs":[1,2],"name":"t","none":null}"#);
+            assert_eq!(value_from_str(&compact).unwrap(), v);
+            let pretty = to_string_pretty(&v);
+            assert!(pretty.contains("\n  \"xs\": [\n    1,"));
+            assert_eq!(value_from_str(&pretty).unwrap(), v);
+        }
+
+        #[test]
+        fn errors_name_the_byte_offset() {
+            assert!(value_from_str("[1,]").is_err());
+            assert!(value_from_str("{\"a\" 1}").is_err());
+            assert!(value_from_str("12 34")
+                .unwrap_err()
+                .to_string()
+                .contains("trailing"));
+            assert!(from_str::<u8>("300").is_err(), "out-of-range integers fail");
+        }
+
+        #[test]
+        fn option_and_vec_round_trip() {
+            let v: Vec<Option<u64>> = vec![Some(3), None, Some(u64::MAX)];
+            let text = to_string(&v);
+            let back: Vec<Option<u64>> = from_str(&text).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+}

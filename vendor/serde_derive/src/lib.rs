@@ -1,0 +1,321 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for the shapes the treecast workspace uses —
+//! non-generic structs with named fields, and enums of unit / newtype /
+//! struct variants.
+//!
+//! The macros target the vendored `serde` shim's `Value` model: a derive
+//! only needs the *names* of fields and variants (field types are reached
+//! through trait method calls, so they are never parsed). That keeps the
+//! implementation at a hand-rolled `TokenStream` walk — no `syn`, no
+//! `quote`, nothing to vendor transitively. Shapes outside the supported
+//! subset fail loudly at expansion time rather than mis-serializing.
+//!
+//! The JSON representation matches real serde's externally-tagged
+//! default: a unit variant serializes as its name, a newtype variant as
+//! `{"Name": value}`, a struct variant as `{"Name": {fields…}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a field or variant list boils down to: names only.
+struct Parsed {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+/// Derives the shim's `serde::Serialize` (a `to_value` impl).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let name = &parsed.name;
+    let body = match &parsed.body {
+        Body::Struct(fields) => {
+            let pairs = fields
+                .iter()
+                .map(|f| format!("(\"{f}\", ::serde::Serialize::to_value(&self.{f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::object([{pairs}])")
+        }
+        Body::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),")
+                        }
+                        VariantKind::Newtype => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::object(\
+                             [(\"{vn}\", ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs = fields
+                                .iter()
+                                .map(|f| format!("(\"{f}\", ::serde::Serialize::to_value({f}))"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::object(\
+                                 [(\"{vn}\", ::serde::Value::object([{pairs}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!("match self {{\n            {arms}\n        }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives the shim's `serde::Deserialize` (a `from_value` impl).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let name = &parsed.name;
+    let body = match &parsed.body {
+        Body::Struct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(value.field(\"{f}\")?)?,"))
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!("Ok({name} {{\n            {inits}\n        }})")
+        }
+        Body::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect::<Vec<_>>()
+                .join("\n                ");
+            let tagged_arms = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Newtype => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantKind::Struct(fields) => {
+                            let inits = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         inner.field(\"{f}\")?)?,"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(" ");
+                            Some(format!("\"{vn}\" => Ok({name}::{vn} {{ {inits} }}),"))
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n                ");
+            format!(
+                "if let ::serde::Value::Str(tag) = value {{\n\
+                     return match tag.as_str() {{\n                {unit_arms}\n\
+                         other => Err(::serde::Error::msg(format!(\n\
+                             \"unknown unit variant `{{other}}` of `{name}`\"))),\n\
+                     }};\n\
+                 }}\n\
+                 let (tag, inner) = value.variant()?;\n\
+                 match tag {{\n                {tagged_arms}\n\
+                     other => Err(::serde::Error::msg(format!(\n\
+                         \"unknown variant `{{other}}` of `{name}`\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                -> ::core::result::Result<Self, ::serde::Error> {{\n        {body}\n    }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+/// Walks the item's tokens down to names: `struct Name { fields… }` or
+/// `enum Name { variants… }`. Panics (= a compile error at the derive
+/// site) on generics, tuple structs, and multi-field tuple variants.
+fn parse(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected a type name, got `{other}`"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (type `{name}`)");
+    }
+    let group = match &tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => panic!("serde_derive: `{name}` must have a braced body (no tuple/unit structs)"),
+    };
+    let body = match keyword.as_str() {
+        "struct" => Body::Struct(parse_named_fields(group)),
+        "enum" => Body::Enum(parse_variants(group)),
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    };
+    Parsed { name, body }
+}
+
+/// `#[attr…]` runs and `pub` / `pub(…)` markers, skipped in place.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // the `(crate)` part of `pub(crate)`
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a `{ name: Type, … }` body; types are consumed by
+/// tracking `<`/`>` depth until a top-level comma.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected a field name, got `{other}`"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{field}`, got `{other}`"),
+        }
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+/// Variant names and shapes of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected a variant name, got `{other}`"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let top_commas = {
+                    let mut depth = 0i32;
+                    let mut commas = 0usize;
+                    let mut trailing = false;
+                    for (j, t) in inner.iter().enumerate() {
+                        match t {
+                            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                                commas += 1;
+                                trailing = j + 1 == inner.len();
+                            }
+                            _ => {}
+                        }
+                    }
+                    commas - usize::from(trailing)
+                };
+                if inner.is_empty() || top_commas > 0 {
+                    panic!(
+                        "serde_derive: variant `{name}` must be unit, newtype, \
+                         or struct-like (multi-field tuples unsupported)"
+                    );
+                }
+                i += 1;
+                VariantKind::Newtype
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive: explicit discriminants are not supported (variant `{name}`)");
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
