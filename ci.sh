@@ -4,11 +4,13 @@
 #   ./ci.sh [quick|full|release] [--fix]
 #
 #   quick    fmt check, release build, tests, bench smoke, frontier
-#            smoke (n = 10^4), server smoke (n = 64), docs (skips the
-#            bench regression gates and the --ignored tier)
+#            smoke (n = 10^4), server smoke (n = 64), static analysis
+#            (L1-L6 + allowlist + baseline gate), docs (skips the bench
+#            regression gates and the --ignored tier)
 #   full     quick + the compose/solver/workloads/adversary/frontier/
-#            server bench gates and the release-mode differential/
-#            scenario proptests (default)
+#            server bench gates, the release-mode differential/
+#            scenario proptests, and the concurrency-determinism audit
+#            (debug build, threads 1/2/4/8) (default)
 #   release  full + the slow --ignored solver tier, the beam width
 #            sweep, and the frontier scale rows (n = 10^6)
 #   --fix    apply rustfmt instead of failing on drift
@@ -88,6 +90,13 @@ run_step "frontier smoke (n = 10^4, release)" \
 # tier below.
 run_step "server smoke (n = 64, release)" \
     cargo run --release -p treecast-bench --bin bench_server -- --smoke
+# Static analysis: the six workspace rules (layering DAG, panic policy,
+# unsafe hygiene, bench-gate coverage, feature hygiene, doc coverage)
+# with the checked-in allowlist, gated against the per-rule baseline so
+# grandfathered counts only ratchet down. Writes results/ANALYZE.json.
+run_step "static analysis (L1-L6, allowlist ratchet)" \
+    cargo run --release -p treecast-analyze --bin analyze -- \
+    --rules all --check results/ANALYZE_baseline.json
 
 if [[ "$TIER" != quick ]]; then
     # Each gate re-measures, writes results/BENCH_<x>.json and compares
@@ -123,6 +132,15 @@ if [[ "$TIER" != quick ]]; then
     # workload, faults included (also in the debug tier-1 pass).
     run_step "server differential tests (release)" \
         cargo test -q --release -p treecast --test server_differential
+    # Concurrency-determinism audit: the three threaded subsystems
+    # (sharded compose, solver discovery, server worker pool) across
+    # {1,2,4,8} threads must be bit-identical, with the debug_validate
+    # invariant checkers live — hence a DEBUG build, not --release.
+    # Combined with --rules all so the checked-in results/ANALYZE.json
+    # carries both the lexical findings and the audit fingerprints.
+    run_step "determinism audit (debug, threads 1/2/4/8) + rules" \
+        cargo run -p treecast-analyze --bin analyze -- \
+        --rules all --determinism --check results/ANALYZE_baseline.json
 fi
 
 if [[ "$TIER" == release ]]; then

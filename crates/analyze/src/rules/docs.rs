@@ -1,0 +1,155 @@
+//! L6 — doc coverage of public items.
+//!
+//! Every `pub` item (`fn`, `struct`, `enum`, `trait`, `type`, `const`,
+//! `static`, `mod`, `union`) in library code must carry an outer doc
+//! comment (`///` or `/** … */`), directly or above its attributes.
+//! Restricted visibility (`pub(crate)`, `pub(super)`, …), `pub use`
+//! re-exports (documented at their definition), struct fields (no item
+//! keyword) and `#[cfg(test)]` modules are out of scope.
+//!
+//! This is a token-level mirror of `#![warn(missing_docs)]`, turned
+//! from a warning into a gated finding.
+
+use crate::lexer::{Tok, TokKind};
+use crate::rules::{in_ranges, match_bracket, test_mod_ranges, Finding, RuleId};
+use crate::workspace::{FileKind, SourceFile, Workspace};
+
+/// Item keywords that take documentation.
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union",
+];
+
+/// Modifier keywords that may sit between `pub` and the item keyword
+/// (plus an ABI string for `pub extern "C" fn`; `const` is special-cased
+/// in the scan because it doubles as an item keyword).
+const MODIFIERS: &[&str] = &["unsafe", "async", "extern"];
+
+/// Runs L6 over the workspace.
+#[must_use]
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for krate in &ws.crates {
+        for file in &krate.files {
+            if file.kind != FileKind::LibSrc {
+                continue;
+            }
+            scan_file(file, &mut findings);
+        }
+    }
+    findings
+}
+
+fn scan_file(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &file.lex.tokens;
+    let skip = test_mod_ranges(&file.lex);
+    let mut has_doc = false;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if in_ranges(&skip, i) {
+            has_doc = false;
+            i += 1;
+            continue;
+        }
+        match &toks[i].kind {
+            TokKind::DocOuter => {
+                has_doc = true;
+                i += 1;
+            }
+            TokKind::DocInner => {
+                has_doc = false;
+                i += 1;
+            }
+            // Attributes keep a pending doc comment attached (both the
+            // `/// doc #[attr] pub` and `#[attr] /// doc pub` orders).
+            TokKind::Punct('#') => {
+                let mut j = i + 1;
+                if j < toks.len() && toks[j].is_punct('!') {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].is_punct('[') {
+                    i = match_bracket(toks, j, '[', ']');
+                } else {
+                    has_doc = false;
+                    i += 1;
+                }
+            }
+            TokKind::Ident if toks[i].text == "pub" => {
+                i = check_pub_item(file, toks, i, has_doc, findings);
+                has_doc = false;
+            }
+            _ => {
+                has_doc = false;
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Handles the token run starting at the `pub` at index `i`; returns the
+/// index to continue scanning from.
+fn check_pub_item(
+    file: &SourceFile,
+    toks: &[Tok],
+    i: usize,
+    has_doc: bool,
+    findings: &mut Vec<Finding>,
+) -> usize {
+    let mut j = i + 1;
+    if j < toks.len() && toks[j].is_punct('(') {
+        // Restricted visibility: not public API.
+        return match_bracket(toks, j, '(', ')');
+    }
+    while j < toks.len() {
+        let t = &toks[j];
+        let is_modifier = match &t.kind {
+            TokKind::Str => true, // ABI string of `pub extern "C" fn`
+            // `const` is both a modifier (`pub const fn`) and an item
+            // keyword (`pub const FOO: …`): modifier only before `fn`.
+            TokKind::Ident if t.text == "const" => {
+                toks.get(j + 1).is_some_and(|n| n.is_ident("fn"))
+            }
+            TokKind::Ident => MODIFIERS.contains(&t.text.as_str()),
+            _ => false,
+        };
+        if !is_modifier {
+            break;
+        }
+        j += 1;
+    }
+    if j >= toks.len() || toks[j].kind != TokKind::Ident {
+        return i + 1;
+    }
+    let keyword = toks[j].text.as_str();
+    if keyword == "use" {
+        return j + 1; // re-exports are documented at the definition
+    }
+    if !ITEM_KEYWORDS.contains(&keyword) {
+        return i + 1; // a struct field or something else doc-exempt
+    }
+    // `pub mod foo;` loads another file, whose `//!` inner docs are the
+    // module documentation — only inline `pub mod foo { … }` needs an
+    // outer doc here (inner `//!` right after the brace counts too).
+    if keyword == "mod" {
+        if toks.get(j + 2).is_some_and(|t| t.is_punct(';')) {
+            return j + 2;
+        }
+        if toks.get(j + 2).is_some_and(|t| t.is_punct('{'))
+            && toks.get(j + 3).is_some_and(|t| t.kind == TokKind::DocInner)
+        {
+            return j + 3;
+        }
+    }
+    if !has_doc {
+        let item_name = toks
+            .get(j + 1)
+            .filter(|t| matches!(t.kind, TokKind::Ident | TokKind::RawIdent))
+            .map_or_else(String::new, |t| format!(" `{}`", t.text));
+        findings.push(Finding::new(
+            RuleId::DocCoverage,
+            &file.rel_path,
+            toks[i].line,
+            format!("public {keyword}{item_name} has no doc comment"),
+        ));
+    }
+    j + 1
+}

@@ -1,0 +1,58 @@
+//! L5 — cfg/feature hygiene.
+//!
+//! Every `feature = "name"` inside a `#[cfg(…)]` / `#[cfg_attr(…)]`
+//! attribute or a `cfg!(…)` macro must name a feature the owning
+//! crate's manifest declares (an explicit `[features]` key or an
+//! implicit optional-dependency feature). An undeclared name makes the
+//! whole gated item silently inert — the PR 7 serde-hook bug this rule
+//! makes un-reintroducible.
+
+use crate::lexer::TokKind;
+use crate::rules::{attr_ranges, in_ranges, Finding, RuleId};
+use crate::workspace::Workspace;
+
+/// Runs L5 over the workspace.
+#[must_use]
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for krate in &ws.crates {
+        for file in &krate.files {
+            let toks = &file.lex.tokens;
+            let attrs = attr_ranges(&file.lex);
+            for i in 0..toks.len() {
+                if !(toks[i].is_ident("feature")
+                    && i + 2 < toks.len()
+                    && toks[i + 1].is_punct('=')
+                    && toks[i + 2].kind == TokKind::Str)
+                {
+                    continue;
+                }
+                // Context: an attribute, or a `cfg!(…)` within reach.
+                let in_attr = in_ranges(&attrs, i);
+                let in_cfg_macro = (i.saturating_sub(12)..i).any(|j| {
+                    toks[j].is_ident("cfg")
+                        && j + 2 < toks.len()
+                        && toks[j + 1].is_punct('!')
+                        && toks[j + 2].is_punct('(')
+                });
+                if !in_attr && !in_cfg_macro {
+                    continue;
+                }
+                let name = &toks[i + 2].text;
+                if !krate.manifest.declares_feature(name) {
+                    findings.push(Finding::new(
+                        RuleId::FeatureHygiene,
+                        &file.rel_path,
+                        toks[i].line,
+                        format!(
+                            "cfg names feature \"{name}\" but `{}` declares no such \
+                             feature in {} — the gated item can never compile in",
+                            krate.name, krate.manifest_rel_path
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}

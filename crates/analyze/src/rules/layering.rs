@@ -1,0 +1,238 @@
+//! L1 — the crate-layering DAG.
+//!
+//! The workspace architecture is a strict DAG:
+//!
+//! ```text
+//! bitmatrix → trees → core → {adversary, solver, nonsplit}
+//!                              → {server, client} → bench
+//! ```
+//!
+//! [`DAG`] records each crate's *direct* upstream edges; a crate may
+//! depend (in `Cargo.toml`, any section) and `use` (in source) exactly
+//! the crates in the transitive closure of its edges. Everything else is
+//! a finding:
+//!
+//! * a `treecast-*` crate absent from the table (new crates must
+//!   register — see CONTRIBUTING.md),
+//! * a manifest dependency outside the closure (a layering violation),
+//! * a `treecast_*` path used in source without a manifest dependency
+//!   (an undeclared-dependency skip),
+//! * a cycle in the declared table itself (cannot happen without editing
+//!   this file, but the check keeps the table honest).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokKind;
+use crate::rules::{Finding, RuleId};
+use crate::workspace::Workspace;
+
+/// The declared layering DAG: `(crate, direct upstream dependencies)`.
+/// New crates MUST register here (and in CONTRIBUTING.md's table).
+pub const DAG: &[(&str, &[&str])] = &[
+    ("treecast-bitmatrix", &[]),
+    ("treecast-trees", &["treecast-bitmatrix"]),
+    ("treecast-core", &["treecast-trees", "treecast-bitmatrix"]),
+    ("treecast-adversary", &["treecast-core"]),
+    ("treecast-solver", &["treecast-core"]),
+    ("treecast-nonsplit", &["treecast-core"]),
+    ("treecast-server", &["treecast-adversary", "treecast-core"]),
+    ("treecast-client", &["treecast-server", "treecast-core"]),
+    (
+        "treecast-bench",
+        &[
+            "treecast-adversary",
+            "treecast-client",
+            "treecast-nonsplit",
+            "treecast-server",
+            "treecast-solver",
+        ],
+    ),
+    ("treecast-analyze", &["treecast-server", "treecast-solver"]),
+    (
+        "treecast",
+        &[
+            "treecast-adversary",
+            "treecast-client",
+            "treecast-nonsplit",
+            "treecast-server",
+            "treecast-solver",
+        ],
+    ),
+];
+
+/// The transitive closure of a crate's allowed dependencies, or `None`
+/// when the crate is not registered.
+#[must_use]
+pub fn allowed_deps(name: &str) -> Option<BTreeSet<&'static str>> {
+    let direct = DAG.iter().find(|(c, _)| *c == name)?.1;
+    let mut closed: BTreeSet<&'static str> = BTreeSet::new();
+    let mut stack: Vec<&'static str> = direct.to_vec();
+    while let Some(dep) = stack.pop() {
+        if closed.insert(dep) {
+            if let Some((_, ups)) = DAG.iter().find(|(c, _)| *c == dep) {
+                stack.extend(ups.iter().copied());
+            }
+        }
+    }
+    Some(closed)
+}
+
+/// `Some(cycle member)` when the declared table is not a DAG.
+#[must_use]
+pub fn table_cycle() -> Option<&'static str> {
+    // Kahn's algorithm over the declared edges.
+    let mut indegree: BTreeMap<&str, usize> = DAG.iter().map(|(c, _)| (*c, 0)).collect();
+    for (_, ups) in DAG {
+        for up in *ups {
+            if let Some(d) = indegree.get_mut(up) {
+                *d += 1;
+            }
+        }
+    }
+    let mut queue: Vec<&str> = indegree
+        .iter()
+        .filter(|(_, d)| **d == 0)
+        .map(|(c, _)| *c)
+        .collect();
+    let mut seen = 0usize;
+    while let Some(c) = queue.pop() {
+        seen += 1;
+        if let Some((_, ups)) = DAG.iter().find(|(name, _)| *name == c) {
+            for up in *ups {
+                if let Some(d) = indegree.get_mut(up) {
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push(up);
+                    }
+                }
+            }
+        }
+    }
+    if seen == DAG.len() {
+        None
+    } else {
+        indegree.iter().find(|(_, d)| **d > 0).map(|(c, _)| *c)
+    }
+}
+
+/// Runs L1 over the workspace.
+#[must_use]
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if let Some(member) = table_cycle() {
+        findings.push(Finding::new(
+            RuleId::Layering,
+            "crates/analyze/src/rules/layering.rs",
+            0,
+            format!("the declared layering table has a cycle through `{member}`"),
+        ));
+    }
+    for krate in &ws.crates {
+        if !krate.name.starts_with("treecast") {
+            continue;
+        }
+        let Some(allowed) = allowed_deps(&krate.name) else {
+            findings.push(Finding::new(
+                RuleId::Layering,
+                &krate.manifest_rel_path,
+                0,
+                format!(
+                    "crate `{}` is not registered in the layering DAG — add it to \
+                     `crates/analyze/src/rules/layering.rs` (see CONTRIBUTING.md)",
+                    krate.name
+                ),
+            ));
+            continue;
+        };
+        // Manifest side: every treecast dependency must be in the closure.
+        for dep in &krate.manifest.deps {
+            if !dep.name.starts_with("treecast") || dep.name == krate.name {
+                continue;
+            }
+            if !allowed.contains(dep.name.as_str()) {
+                findings.push(Finding::new(
+                    RuleId::Layering,
+                    &krate.manifest_rel_path,
+                    dep.line,
+                    format!(
+                        "`{}` must not depend on `{}`: the layering DAG allows {:?}",
+                        krate.name,
+                        dep.name,
+                        allowed.iter().collect::<Vec<_>>()
+                    ),
+                ));
+            }
+        }
+        // Source side: every `treecast_*` path must have a manifest
+        // dependency behind it (no skipping layers through re-exports of
+        // a crate you never declared).
+        let self_ident = krate.name.replace('-', "_");
+        for file in &krate.files {
+            let mut reported: BTreeSet<&str> = BTreeSet::new();
+            for tok in &file.lex.tokens {
+                if tok.kind != TokKind::Ident {
+                    continue;
+                }
+                if tok.text != "treecast" && !tok.text.starts_with("treecast_") {
+                    continue;
+                }
+                if tok.text == self_ident || reported.contains(tok.text.as_str()) {
+                    continue;
+                }
+                let dep_name = tok.text.replace('_', "-");
+                if krate.manifest.dep(&dep_name).is_none() {
+                    reported.insert(tok.text.as_str());
+                    findings.push(Finding::new(
+                        RuleId::Layering,
+                        &file.rel_path,
+                        tok.line,
+                        format!(
+                            "`{}` uses `{}` without declaring `{}` in {} — layering \
+                             skips must go through a declared dependency",
+                            krate.name, tok.text, dep_name, krate.manifest_rel_path
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declared_table_is_acyclic() {
+        assert_eq!(table_cycle(), None);
+    }
+
+    #[test]
+    fn closure_walks_transitively() {
+        let solver = allowed_deps("treecast-solver").unwrap();
+        assert!(solver.contains("treecast-core"));
+        assert!(solver.contains("treecast-trees"), "via core");
+        assert!(solver.contains("treecast-bitmatrix"), "via trees");
+        assert!(!solver.contains("treecast-server"));
+        let bitmatrix = allowed_deps("treecast-bitmatrix").unwrap();
+        assert!(bitmatrix.is_empty());
+        assert!(allowed_deps("treecast-widgets").is_none());
+    }
+
+    #[test]
+    fn bench_and_facade_reach_everything() {
+        for top in ["treecast-bench", "treecast"] {
+            let allowed = allowed_deps(top).unwrap();
+            for (name, _) in DAG {
+                if *name != top
+                    && *name != "treecast"
+                    && *name != "treecast-bench"
+                    && *name != "treecast-analyze"
+                {
+                    assert!(allowed.contains(name), "{top} should reach {name}");
+                }
+            }
+        }
+    }
+}

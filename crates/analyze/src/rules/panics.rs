@@ -1,0 +1,94 @@
+//! L2 — the panic policy.
+//!
+//! Library code (files under `src/`, excluding `src/bin/` and
+//! `#[cfg(test)]` modules) must not call `.unwrap()`, `.expect(…)` or
+//! `panic!(…)` unless the call site carries a justified annotation:
+//!
+//! ```text
+//! // analyze: allow(panic): <one-line reason>
+//! ```
+//!
+//! on the same line or in the contiguous comment block directly above.
+//! An annotation without a reason is itself a finding — the reason is
+//! the point.
+//!
+//! The bench harness crate (`treecast-bench`) is exempt: its bins and
+//! measurement loops treat process death as the correct failure mode
+//! for a broken gate, and its panics print the diagnostics CI wants.
+
+use crate::rules::{in_ranges, test_mod_ranges, Finding, RuleId};
+use crate::workspace::{FileKind, Workspace};
+
+/// The annotation marker.
+pub const ANNOTATION: &str = "analyze: allow(panic)";
+
+/// Crates where the policy does not apply.
+pub const EXEMPT_CRATES: &[&str] = &["treecast-bench"];
+
+/// Runs L2 over the workspace.
+#[must_use]
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for krate in &ws.crates {
+        if EXEMPT_CRATES.contains(&krate.name.as_str()) {
+            continue;
+        }
+        for file in &krate.files {
+            if file.kind != FileKind::LibSrc {
+                continue;
+            }
+            let toks = &file.lex.tokens;
+            let skip = test_mod_ranges(&file.lex);
+            for i in 0..toks.len() {
+                if in_ranges(&skip, i) {
+                    continue;
+                }
+                let call = if i + 2 < toks.len()
+                    && toks[i].is_punct('.')
+                    && (toks[i + 1].is_ident("unwrap") || toks[i + 1].is_ident("expect"))
+                    && toks[i + 2].is_punct('(')
+                {
+                    Some((toks[i + 1].line, format!(".{}()", toks[i + 1].text)))
+                } else if i + 1 < toks.len()
+                    && toks[i].is_ident("panic")
+                    && toks[i + 1].is_punct('!')
+                {
+                    Some((toks[i].line, "panic!".to_string()))
+                } else {
+                    None
+                };
+                let Some((line, what)) = call else { continue };
+                let annotation = file.lex.annotation_text(line);
+                match annotation.find(ANNOTATION) {
+                    None => findings.push(Finding::new(
+                        RuleId::PanicPolicy,
+                        &file.rel_path,
+                        line,
+                        format!(
+                            "{what} in library code — return a typed error, or annotate \
+                             with `// {ANNOTATION}: <reason>`"
+                        ),
+                    )),
+                    Some(pos) => {
+                        let reason = annotation[pos + ANNOTATION.len()..]
+                            .trim_start_matches([':', '-', ' ', '\u{2014}'])
+                            .trim();
+                        if reason.is_empty() {
+                            findings.push(Finding::new(
+                                RuleId::PanicPolicy,
+                                &file.rel_path,
+                                line,
+                                format!(
+                                    "{what} annotation is missing its reason — write \
+                                     `// {ANNOTATION}: <why this cannot fire / why \
+                                     dying is right>`"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,72 @@
+//! L3 — unsafe hygiene.
+//!
+//! Two halves:
+//!
+//! * every library crate's `src/lib.rs` carries `#![forbid(unsafe_code)]`
+//!   — so `unsafe` in library code is impossible by construction;
+//! * the `unsafe` that legitimately remains (test/bench support code,
+//!   e.g. counting `GlobalAlloc` impls) must carry a `// SAFETY:`
+//!   comment on the same line or in the contiguous comment block
+//!   directly above each `unsafe` token.
+
+use crate::lexer::TokKind;
+use crate::rules::{Finding, RuleId};
+use crate::workspace::Workspace;
+
+/// Runs L3 over the workspace.
+#[must_use]
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for krate in &ws.crates {
+        // Half one: the lib entry point must forbid unsafe code.
+        let lib_rel = if krate.rel_dir.is_empty() {
+            "src/lib.rs".to_string()
+        } else {
+            format!("{}/src/lib.rs", krate.rel_dir)
+        };
+        if let Some(lib) = krate.files.iter().find(|f| f.rel_path == lib_rel) {
+            let toks = &lib.lex.tokens;
+            let has_forbid = (0..toks.len()).any(|i| {
+                i + 5 < toks.len()
+                    && toks[i].is_punct('#')
+                    && toks[i + 1].is_punct('!')
+                    && toks[i + 2].is_punct('[')
+                    && toks[i + 3].is_ident("forbid")
+                    && toks[i + 4].is_punct('(')
+                    && toks[i + 5].is_ident("unsafe_code")
+            });
+            if !has_forbid {
+                findings.push(Finding::new(
+                    RuleId::UnsafeHygiene,
+                    &lib.rel_path,
+                    1,
+                    format!(
+                        "library crate `{}` must carry `#![forbid(unsafe_code)]` at \
+                         the crate root",
+                        krate.name
+                    ),
+                ));
+            }
+        }
+        // Half two: every remaining `unsafe` needs a SAFETY: comment.
+        for file in &krate.files {
+            for tok in &file.lex.tokens {
+                if tok.kind != TokKind::Ident || tok.text != "unsafe" {
+                    continue;
+                }
+                let nearby = file.lex.annotation_text(tok.line);
+                if !nearby.contains("SAFETY:") {
+                    findings.push(Finding::new(
+                        RuleId::UnsafeHygiene,
+                        &file.rel_path,
+                        tok.line,
+                        "`unsafe` without a `// SAFETY:` comment on the same line or \
+                         directly above — state the contract that makes it sound"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}

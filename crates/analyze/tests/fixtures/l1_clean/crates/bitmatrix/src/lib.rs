@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+//! Base layer.
+
+/// A word.
+pub struct Word(pub u64);

@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+//! Base layer that illegally reaches up into core.
+
+/// Uses a crate outside the declared manifest closure, too.
+pub fn bad() {
+    treecast_solver::poke();
+}

@@ -1,0 +1,2 @@
+#![forbid(unsafe_code)]
+//! A crate that never registered in the layering DAG.

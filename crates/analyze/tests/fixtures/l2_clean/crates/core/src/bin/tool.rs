@@ -1,0 +1,6 @@
+//! Binaries are outside the panic policy.
+
+fn main() {
+    let v: Option<u32> = Some(1);
+    println!("{}", v.unwrap());
+}

@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+//! Safe library.
+
+/// Nothing unsafe here.
+pub fn fine() {}

@@ -1,0 +1,10 @@
+//! Test support code may use unsafe with a stated contract.
+
+#[test]
+fn reads_a_raw_pointer() {
+    let x = 7u32;
+    let p = &x as *const u32;
+    // SAFETY: `p` points at a live stack value for the whole block.
+    let y = unsafe { *p };
+    assert_eq!(y, 7);
+}

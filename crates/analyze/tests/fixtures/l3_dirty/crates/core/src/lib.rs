@@ -1,0 +1,4 @@
+//! Library missing `#![forbid(unsafe_code)]`.
+
+/// Nothing else wrong.
+pub fn fine() {}

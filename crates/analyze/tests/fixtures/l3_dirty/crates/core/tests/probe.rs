@@ -1,0 +1,9 @@
+//! Unsafe without a SAFETY contract.
+
+#[test]
+fn reads_a_raw_pointer() {
+    let x = 7u32;
+    let p = &x as *const u32;
+    let y = unsafe { *p };
+    assert_eq!(y, 7);
+}

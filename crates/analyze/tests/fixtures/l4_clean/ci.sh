@@ -1,0 +1,2 @@
+#!/usr/bin/env bash
+cargo run --bin bench_demo -- --check results/BENCH_demo_baseline.json

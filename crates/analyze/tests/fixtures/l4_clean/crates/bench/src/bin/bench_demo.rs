@@ -1,0 +1,3 @@
+//! A wired-up gate.
+
+fn main() {}

@@ -1,0 +1,2 @@
+#![forbid(unsafe_code)]
+//! Bench harness.

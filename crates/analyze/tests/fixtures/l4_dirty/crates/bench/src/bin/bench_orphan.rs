@@ -1,0 +1,3 @@
+//! A gate that silently stopped gating.
+
+fn main() {}

@@ -1,0 +1,11 @@
+#![forbid(unsafe_code)]
+//! Gated items name declared features.
+
+/// Only compiled with the declared feature.
+#[cfg(feature = "serde")]
+pub fn gated() {}
+
+/// Macro form checks too.
+pub fn probe() -> bool {
+    cfg!(feature = "serde")
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! A gated item that can never compile in.
+
+/// Inert: no such feature exists in the manifest.
+#[cfg(feature = "sered")]
+pub fn never() {}

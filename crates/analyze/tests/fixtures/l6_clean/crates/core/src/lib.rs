@@ -1,0 +1,18 @@
+#![forbid(unsafe_code)]
+//! Fully documented surface.
+
+/// A documented function.
+#[inline]
+pub fn documented() {}
+
+/// A documented struct.
+pub struct S {
+    /// A documented field (fields are in scope for rustdoc, not L6).
+    pub field: u32,
+    not_public: u32,
+}
+
+/// Restricted visibility is out of scope.
+pub(crate) fn internal() -> u32 {
+    S { field: 0, not_public: 1 }.not_public
+}

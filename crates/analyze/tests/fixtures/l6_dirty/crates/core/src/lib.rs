@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+//! Undocumented public surface.
+
+pub fn bare() {}
+
+pub struct Naked;
+
+pub const LIMIT: usize = 8;

@@ -1,0 +1,166 @@
+//! Fixture-driven rule tests: every rule L1–L6 is demonstrated by a
+//! mini-workspace pair under `tests/fixtures/` — a clean variant the
+//! rule must accept and a dirty variant it must reject, with the
+//! expected diagnostics pinned by message fragment.
+//!
+//! The fixtures use real `treecast-*` crate names so the checked-in
+//! layering DAG applies to them unchanged; they are plain directory
+//! trees, not cargo workspace members (the root `crates/*` glob is
+//! single-level and never descends into `tests/fixtures/`).
+
+use std::path::PathBuf;
+
+use treecast_analyze::{run_rules, Finding, RuleId, Workspace};
+
+fn fixture(name: &str) -> Workspace {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    Workspace::load(&dir).unwrap_or_else(|e| panic!("fixture `{name}` should load: {e}"))
+}
+
+fn run(name: &str, rule: RuleId) -> Vec<Finding> {
+    run_rules(&fixture(name), &[rule])
+}
+
+/// Asserts exactly one finding in `findings` mentions `fragment`.
+#[track_caller]
+fn assert_one(findings: &[Finding], fragment: &str) {
+    let hits = findings
+        .iter()
+        .filter(|f| f.message.contains(fragment))
+        .count();
+    assert_eq!(
+        hits, 1,
+        "want exactly one finding containing {fragment:?}, got {hits} in {findings:#?}"
+    );
+}
+
+// ---------------------------------------------------------------- L1
+
+#[test]
+fn l1_clean_layering_passes() {
+    assert_eq!(run("l1_clean", RuleId::Layering), vec![]);
+}
+
+#[test]
+fn l1_dirty_layering_fires() {
+    let findings = run("l1_dirty", RuleId::Layering);
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+    // The base layer declares a dependency on a crate above it.
+    assert_one(
+        &findings,
+        "`treecast-bitmatrix` must not depend on `treecast-core`",
+    );
+    // Source reaches a crate the manifest never declared.
+    assert_one(
+        &findings,
+        "uses `treecast_solver` without declaring `treecast-solver`",
+    );
+    // A treecast crate that never registered in the DAG table.
+    assert_one(
+        &findings,
+        "`treecast-rogue` is not registered in the layering DAG",
+    );
+}
+
+// ---------------------------------------------------------------- L2
+
+#[test]
+fn l2_clean_panics_pass() {
+    // Annotated expect, test-module unwrap, and bin-target unwrap are
+    // all outside the policy.
+    assert_eq!(run("l2_clean", RuleId::PanicPolicy), vec![]);
+}
+
+#[test]
+fn l2_dirty_panics_fire() {
+    let findings = run("l2_dirty", RuleId::PanicPolicy);
+    assert_eq!(findings.len(), 4, "{findings:#?}");
+    assert_one(&findings, ".unwrap() in library code");
+    assert_one(&findings, "panic! in library code");
+    assert_one(&findings, ".expect() in library code");
+    assert_one(&findings, "annotation is missing its reason");
+}
+
+// ---------------------------------------------------------------- L3
+
+#[test]
+fn l3_clean_unsafe_hygiene_passes() {
+    // `#![forbid(unsafe_code)]` in the lib, `// SAFETY:` on the one
+    // unsafe block in test support code.
+    assert_eq!(run("l3_clean", RuleId::UnsafeHygiene), vec![]);
+}
+
+#[test]
+fn l3_dirty_unsafe_hygiene_fires() {
+    let findings = run("l3_dirty", RuleId::UnsafeHygiene);
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert_one(&findings, "must carry `#![forbid(unsafe_code)]`");
+    assert_one(&findings, "`unsafe` without a `// SAFETY:` comment");
+}
+
+// ---------------------------------------------------------------- L4
+
+#[test]
+fn l4_clean_bench_gates_pass() {
+    // bench_demo has a baseline, a ci.sh invocation, and a README row.
+    assert_eq!(run("l4_clean", RuleId::GateCoverage), vec![]);
+}
+
+#[test]
+fn l4_dirty_bench_gates_fire() {
+    let findings = run("l4_dirty", RuleId::GateCoverage);
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+    assert_one(
+        &findings,
+        "has no checked-in baseline `results/BENCH_orphan_baseline.json`",
+    );
+    assert_one(&findings, "`bench_orphan` is never invoked from ci.sh");
+    assert_one(&findings, "BENCH_orphan.json");
+}
+
+// ---------------------------------------------------------------- L5
+
+#[test]
+fn l5_clean_features_pass() {
+    // Both `#[cfg(feature = …)]` and `cfg!(feature = …)` name a feature
+    // the manifest declares.
+    assert_eq!(run("l5_clean", RuleId::FeatureHygiene), vec![]);
+}
+
+#[test]
+fn l5_dirty_features_fire() {
+    let findings = run("l5_dirty", RuleId::FeatureHygiene);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_one(&findings, "cfg names feature \"sered\"");
+}
+
+// ---------------------------------------------------------------- L6
+
+#[test]
+fn l6_clean_docs_pass() {
+    // Documented items, attributes between doc and item, struct fields
+    // and `pub(crate)` visibility out of scope.
+    assert_eq!(run("l6_clean", RuleId::DocCoverage), vec![]);
+}
+
+#[test]
+fn l6_dirty_docs_fire() {
+    let findings = run("l6_dirty", RuleId::DocCoverage);
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+    assert_one(&findings, "public fn `bare` has no doc comment");
+    assert_one(&findings, "public struct `Naked` has no doc comment");
+    assert_one(&findings, "public const `LIMIT` has no doc comment");
+}
+
+// ------------------------------------------------- cross-rule sanity
+
+#[test]
+fn dirty_fixtures_are_quiet_outside_their_rule() {
+    // The L5 dirty fixture must not trip the panic policy, and the L2
+    // dirty fixture must not trip feature hygiene: each fixture isolates
+    // exactly one rule's failure mode.
+    assert_eq!(run("l5_dirty", RuleId::PanicPolicy), vec![]);
+    assert_eq!(run("l2_dirty", RuleId::FeatureHygiene), vec![]);
+}

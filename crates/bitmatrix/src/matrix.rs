@@ -514,6 +514,80 @@ impl BoolMatrix {
         }
     }
 
+    /// The row-sharded parallel kernel with an *explicit* shard count,
+    /// regardless of the host's parallelism: `shards` scoped workers
+    /// (clamped to `[1, n]`; 1 degenerates to the serial tiled kernel).
+    ///
+    /// This is the determinism auditor's entry point: the row partition
+    /// is a pure function of `(n, shards)` and every worker writes only
+    /// its own disjoint row chunk, so the result must be bit-identical
+    /// to the serial kernel for every shard count. `analyze
+    /// --determinism` asserts exactly that across shard counts
+    /// {1, 2, 4, 8}.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions of `self`, `other` and `out` differ.
+    pub fn compose_into_sharded(&self, other: &BoolMatrix, out: &mut BoolMatrix, shards: usize) {
+        assert_eq!(
+            self.n, other.n,
+            "matrix dimension mismatch: {} vs {}",
+            self.n, other.n
+        );
+        assert_eq!(
+            self.n, out.n,
+            "output matrix dimension mismatch: {} vs {}",
+            out.n, self.n
+        );
+        out.clear();
+        if self.n == 0 {
+            return;
+        }
+        compose_parallel_sharded(self, other, &mut out.words, shards);
+    }
+
+    /// Structural self-check: the shape and tail-mask invariants every
+    /// public operation preserves. `stride` must match
+    /// [`BoolMatrix::words_per_row`], the backing vector must hold
+    /// exactly `n · stride` words, and no row may have bits set beyond
+    /// column `n − 1` in its final (masked) word.
+    ///
+    /// Compiled to a no-op in release builds; debug builds (the tier-1
+    /// test pass and the `analyze --determinism` audit) get the real
+    /// checks. Violations panic with the broken invariant named.
+    pub fn debug_validate(&self) {
+        #[cfg(debug_assertions)]
+        {
+            assert_eq!(
+                self.stride,
+                words_for(self.n),
+                "stride {} disagrees with words_for({})",
+                self.stride,
+                self.n
+            );
+            assert_eq!(
+                self.words.len(),
+                self.n * self.stride,
+                "backing vector holds {} words, shape needs {}",
+                self.words.len(),
+                self.n * self.stride
+            );
+            let rem = self.n % WORD_BITS;
+            if rem != 0 {
+                let beyond = !((1u64 << rem) - 1);
+                for x in 0..self.n {
+                    let tail = self.row_words(x)[self.stride - 1];
+                    assert_eq!(
+                        tail & beyond,
+                        0,
+                        "row {x} has bits set beyond column {} in its tail word",
+                        self.n - 1
+                    );
+                }
+            }
+        }
+    }
+
     /// Returns `true` if the matrix has at most `limit` set entries,
     /// bailing out of the popcount scan as soon as the limit is exceeded.
     fn has_at_most_edges(&self, limit: usize) -> bool {
@@ -885,9 +959,11 @@ fn tile_pass<const T: usize>(
                 let z = wi * WORD_BITS + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 let base = z * stride + col_word;
+                // analyze: allow(panic): the slice is exactly T long by
+                // construction; try_into cannot fail on the hot path.
                 let seg: &[u64; T] = b.words[base..base + T]
                     .try_into()
-                    .expect("tile segment has T words");
+                    .expect("tile segment has T words"); // analyze: allow(panic): see above
                 for i in 0..T {
                     acc[i] |= seg[i];
                 }
@@ -928,7 +1004,18 @@ fn tile_saturation_mask<const T: usize>(a: &BoolMatrix, col_word: usize) -> [u64
 /// least 2, so an explicit [`ComposePath::Parallel`] request exercises
 /// real sharding even on a single-core host).
 fn compose_parallel(a: &BoolMatrix, b: &BoolMatrix, out: &mut [u64]) {
-    let shards = hardware_threads().max(2).min(a.n);
+    compose_parallel_sharded(a, b, out, hardware_threads().max(2));
+}
+
+/// The row-sharding body with an explicit worker count. One shard
+/// degenerates to the serial tiled kernel (no scope, no spawn), which is
+/// the reference the determinism audit compares the sharded runs to.
+fn compose_parallel_sharded(a: &BoolMatrix, b: &BoolMatrix, out: &mut [u64], shards: usize) {
+    let shards = shards.clamp(1, a.n);
+    if shards == 1 {
+        compose_rows_tiled(a, b, 0, out);
+        return;
+    }
     let rows_per_shard = a.n.div_ceil(shards);
     std::thread::scope(|scope| {
         for (i, chunk) in out.chunks_mut(rows_per_shard * a.stride).enumerate() {

@@ -67,6 +67,7 @@ proptest! {
                 // Start from stale garbage to prove the kernel overwrites.
                 let mut out = BoolMatrix::ones(n);
                 a.compose_into_with(&b, &mut out, path);
+                out.debug_validate();
                 prop_assert!(
                     out == expected,
                     "kernel {:?} diverged at n = {} (density {}%)",
@@ -92,6 +93,7 @@ proptest! {
             let expected = naive_compose(&path_round, &b);
             let mut out = BoolMatrix::zeros(n);
             path_round.compose_into(&b, &mut out);
+            out.debug_validate();
             prop_assert!(out == expected, "sparse regime diverged at n = {}", n);
         }
     }

@@ -213,6 +213,69 @@ impl FrontierState {
         }
     }
 
+    /// Checks the structural invariants that hold between rounds; a noop
+    /// in release builds.
+    ///
+    /// Per token: the source always holds its own token (even `forget`
+    /// preserves this), frontier nodes are holders — or parked in
+    /// `deferred`, when a `forget` since the last round evicted them
+    /// from the holder set but not from the frontier list — deferred
+    /// nodes are in-range non-holders awaiting re-delivery, and the
+    /// cached `full` flag matches the holder set. Globally: `disseminated` equals the
+    /// recount of full tokens, and the `seen` dedup bits are all clear
+    /// (they are scrubbed via `touched` at the end of every round — the
+    /// other scratch vectors are recycled lazily and may hold stale
+    /// contents, so they carry no between-round invariant).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any invariant is violated.
+    pub fn debug_validate(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let mut full_tokens = 0usize;
+            for (i, tok) in self.tokens.iter().enumerate() {
+                assert!(tok.source < self.n, "token {i}: source out of range");
+                assert!(
+                    tok.holders.contains(tok.source),
+                    "token {i}: source {} lost its own token",
+                    tok.source
+                );
+                assert_eq!(
+                    tok.holders.universe_size(),
+                    self.n,
+                    "token {i}: holder universe drifted from n"
+                );
+                for &f in &tok.frontier {
+                    assert!(
+                        f < self.n && (tok.holders.contains(f) || tok.deferred.contains(&f)),
+                        "token {i}: frontier node {f} is neither a holder nor deferred"
+                    );
+                }
+                for &d in &tok.deferred {
+                    assert!(
+                        d < self.n && !tok.holders.contains(d),
+                        "token {i}: deferred node {d} is out of range or already a holder"
+                    );
+                }
+                assert_eq!(
+                    tok.full,
+                    tok.holders.is_full(),
+                    "token {i}: cached full flag disagrees with the holder set"
+                );
+                full_tokens += usize::from(tok.full);
+            }
+            assert_eq!(
+                self.disseminated, full_tokens,
+                "incremental disseminated count disagrees with the recount"
+            );
+            assert!(
+                self.seen.is_empty(),
+                "seen dedup bits not scrubbed between rounds"
+            );
+        }
+    }
+
     /// Applies one synchronous round along `tree` (self-loops implied),
     /// with the edges incident to the sorted `offline` nodes masked out —
     /// the frontier mirror of the dense engine's masked round matrix.

@@ -231,6 +231,7 @@ pub mod generators {
     /// ```
     pub fn grid(n: usize) -> BoolMatrix {
         assert!(n > 0, "graph needs at least one node");
+        // analyze: allow(panic): (1..) always reaches s with s*s >= n.
         let side = (1..).find(|s| s * s >= n).expect("finite n");
         let mut m = BoolMatrix::identity(n);
         for z in 0..n {
@@ -341,6 +342,8 @@ impl MatrixSource for GreedyNonsplit {
                 best = Some((max_reach, candidate));
             }
         }
+        // analyze: allow(panic): the loop above ran over a non-empty pool, so
+        // `best` was set on its first iteration.
         best.expect("pool ≥ 1").1
     }
 }

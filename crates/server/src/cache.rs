@@ -157,10 +157,13 @@ impl Shard {
     }
 
     fn slot(&self, i: usize) -> &Slot {
+        // analyze: allow(panic): an LRU link to a vacant slot is arena
+        // corruption; serving from a corrupt cache would be worse than dying.
         self.slots[i].as_ref().expect("linked slot must be live")
     }
 
     fn slot_mut(&mut self, i: usize) -> &mut Slot {
+        // analyze: allow(panic): see `slot` — corrupt arena must abort.
         self.slots[i].as_mut().expect("linked slot must be live")
     }
 
@@ -206,6 +209,7 @@ impl Shard {
             return;
         }
         self.unlink(i);
+        // analyze: allow(panic): see `slot` — corrupt arena must abort.
         let slot = self.slots[i].take().expect("tail slot must be live");
         self.map.remove(&slot.key);
         self.bytes -= slot.bytes;
@@ -285,9 +289,11 @@ impl PrefixCache {
     /// hit or miss and refreshing recency on hit.
     #[must_use]
     pub fn get(&self, fingerprint: u64, round: u64) -> Option<Arc<PrefixEntry>> {
+        // A poisoned shard means a worker died inside the intrusive list;
+        // its state cannot be trusted, so propagate the abort.
         let mut shard = self.shards[self.shard_of(fingerprint)]
             .lock()
-            .expect("cache shard poisoned");
+            .expect("cache shard poisoned"); // analyze: allow(panic): poisoned shard propagates
         match shard.map.get(&(fingerprint, round)).copied() {
             Some(i) => {
                 shard.touch(i);
@@ -310,6 +316,7 @@ impl PrefixCache {
         let budget = self.budget_per_shard;
         self.shards[self.shard_of(fingerprint)]
             .lock()
+            // analyze: allow(panic): see `get` — a poisoned shard propagates.
             .expect("cache shard poisoned")
             .insert((fingerprint, round), entry, budget);
     }
@@ -320,6 +327,7 @@ impl PrefixCache {
         let mut entries = 0;
         let mut bytes = 0;
         for shard in &self.shards {
+            // analyze: allow(panic): see `get` — a poisoned shard propagates.
             let s = shard.lock().expect("cache shard poisoned");
             entries += s.map.len();
             bytes += s.bytes;
@@ -338,11 +346,81 @@ impl PrefixCache {
         self.misses.store(0, Ordering::Relaxed);
     }
 
+    /// Checks the structural invariants of every shard; a noop in
+    /// release builds.
+    ///
+    /// Per shard: walking the intrusive LRU list head→tail visits each
+    /// live slot exactly once with symmetric `prev`/`next` links, the
+    /// list length equals both the map size and the live-slot count, the
+    /// map points at live slots whose keys match, free-list slots are
+    /// vacant, and the cached byte counter equals the sum of live slot
+    /// charges.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any invariant is violated, and in all
+    /// builds if a shard mutex is poisoned.
+    pub fn debug_validate(&self) {
+        #[cfg(debug_assertions)]
+        for (si, shard) in self.shards.iter().enumerate() {
+            // analyze: allow(panic): see `get` — a poisoned shard propagates.
+            let s = shard.lock().expect("cache shard poisoned");
+            let live: Vec<usize> = (0..s.slots.len())
+                .filter(|&i| s.slots[i].is_some())
+                .collect();
+            let mut walked = std::collections::HashSet::new();
+            let mut bytes = 0usize;
+            let mut prev = NIL;
+            let mut i = s.head;
+            while i != NIL {
+                assert!(
+                    walked.insert(i),
+                    "shard {si}: LRU list revisits slot {i} (cycle)"
+                );
+                let slot = s.slots[i]
+                    .as_ref()
+                    // analyze: allow(panic): this IS the invariant checker.
+                    .unwrap_or_else(|| panic!("shard {si}: LRU list links vacant slot {i}"));
+                assert_eq!(slot.prev, prev, "shard {si}: asymmetric prev link at {i}");
+                assert_eq!(
+                    s.map.get(&slot.key).copied(),
+                    Some(i),
+                    "shard {si}: map entry for slot {i} missing or misdirected"
+                );
+                bytes += slot.bytes;
+                prev = i;
+                i = slot.next;
+            }
+            assert_eq!(s.tail, prev, "shard {si}: tail does not end the list");
+            assert_eq!(
+                walked.len(),
+                live.len(),
+                "shard {si}: live slots unreachable from the LRU list"
+            );
+            assert_eq!(
+                walked.len(),
+                s.map.len(),
+                "shard {si}: map size disagrees with the LRU list"
+            );
+            assert_eq!(
+                bytes, s.bytes,
+                "shard {si}: cached byte counter disagrees with the slot sum"
+            );
+            for &f in &s.free {
+                assert!(
+                    s.slots[f].is_none(),
+                    "shard {si}: free-list slot {f} still live"
+                );
+            }
+        }
+    }
+
     /// Entries resident per shard — the shard-distribution observable.
     #[must_use]
     pub fn shard_sizes(&self) -> Vec<usize> {
         self.shards
             .iter()
+            // analyze: allow(panic): see `get` — a poisoned shard propagates.
             .map(|s| s.lock().expect("cache shard poisoned").map.len())
             .collect()
     }

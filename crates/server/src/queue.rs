@@ -46,6 +46,8 @@ impl<T> JobQueue<T> {
     /// Panics if the queue is already closed — closing is a promise that
     /// no more work arrives, and a push after it is a caller bug.
     pub fn push(&self, item: T) {
+        // analyze: allow(panic): queue-mutex poisoning means a producer or
+        // consumer panicked holding the lock; the batch is already lost.
         let mut state = self.state.lock().expect("job queue poisoned");
         assert!(!state.closed, "push after close");
         state.items.push_back(item);
@@ -56,6 +58,7 @@ impl<T> JobQueue<T> {
     /// Closes the queue: consumers drain the remaining jobs, then every
     /// [`JobQueue::pop`] returns `None`.
     pub fn close(&self) {
+        // analyze: allow(panic): see `push` — poisoning propagates the abort.
         self.state.lock().expect("job queue poisoned").closed = true;
         self.available.notify_all();
     }
@@ -63,6 +66,7 @@ impl<T> JobQueue<T> {
     /// Dequeues the next job, blocking while the queue is open and empty.
     /// `None` means closed-and-drained — the worker's exit signal.
     pub fn pop(&self) -> Option<T> {
+        // analyze: allow(panic): see `push` — poisoning propagates the abort.
         let mut state = self.state.lock().expect("job queue poisoned");
         loop {
             if let Some(item) = state.items.pop_front() {
@@ -71,6 +75,7 @@ impl<T> JobQueue<T> {
             if state.closed {
                 return None;
             }
+            // analyze: allow(panic): see `push` — poisoning propagates the abort.
             state = self.available.wait(state).expect("job queue poisoned");
         }
     }

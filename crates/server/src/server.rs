@@ -112,6 +112,8 @@ impl Server {
                 s.spawn(|| {
                     while let Some((i, request)) = queue.pop() {
                         let response = self.serve(request);
+                        // analyze: allow(panic): a poisoned slot means another
+                        // worker died mid-batch; propagate the abort.
                         *results[i].lock().expect("result slot poisoned") = Some(response);
                     }
                 });
@@ -124,9 +126,11 @@ impl Server {
         results
             .into_iter()
             .map(|slot| {
+                // Both expects are worker-death signals: a poisoned slot or a
+                // missing answer means a worker panicked and the batch is lost.
                 slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every job is answered before the scope ends")
+                    .expect("result slot poisoned") // analyze: allow(panic): worker died mid-batch
+                    .expect("every job is answered") // analyze: allow(panic): worker died mid-batch
             })
             .collect()
     }

@@ -78,7 +78,12 @@ fn assert_differential(
         workload,
         sparse_faults,
         cfg,
-        |_, tree, state| sparse_trace.push((state.disseminated_count(), tree.root())),
+        |_, tree, state| {
+            // The structural invariant checker is live in debug builds; the
+            // differential suite exercises it on every traced round.
+            state.debug_validate();
+            sparse_trace.push((state.disseminated_count(), tree.root()));
+        },
     );
 
     let mut dense_trace: Vec<(usize, usize)> = Vec::new();

@@ -152,4 +152,7 @@ fn batched_serving_agrees_with_serial_serving() {
     let serial: Vec<Response> = requests.iter().map(|r| server.serve(r)).collect();
     let batched = server.serve_batch(&requests);
     assert_eq!(batched, serial);
+    // The LRU/arena structural checker is live in debug builds: after a
+    // serial pass plus a concurrent batch, every shard must still be sound.
+    server.cache().debug_validate();
 }
