@@ -4,13 +4,14 @@
 #   ./ci.sh [quick|full|release] [--fix]
 #
 #   quick    fmt check, release build, tests, bench smoke, frontier
-#            smoke (n = 10^4), server smoke (n = 64), static analysis
-#            (L1-L6 + allowlist + baseline gate), docs (skips the bench
-#            regression gates and the --ignored tier)
+#            smoke (n = 10^4), server smoke (n = 64), montecarlo smoke
+#            (n = 64), static analysis (L1-L6 + allowlist + baseline
+#            gate), docs (skips the bench regression gates and the
+#            --ignored tier)
 #   full     quick + the compose/solver/workloads/adversary/frontier/
-#            server bench gates, the release-mode differential/
-#            scenario proptests, and the concurrency-determinism audit
-#            (debug build, threads 1/2/4/8) (default)
+#            server/montecarlo bench gates, the release-mode
+#            differential/scenario proptests, and the concurrency-
+#            determinism audit (debug build, threads 1/2/4/8) (default)
 #   release  full + the slow --ignored solver tier, the beam width
 #            sweep, and the frontier scale rows (n = 10^6)
 #   --fix    apply rustfmt instead of failing on drift
@@ -90,6 +91,12 @@ run_step "frontier smoke (n = 10^4, release)" \
 # tier below.
 run_step "server smoke (n = 64, release)" \
     cargo run --release -p treecast-bench --bin bench_server -- --smoke
+# Monte Carlo smoke: three seeded estimator cells (static-path loss
+# sweep endpoints plus one seeded-uniform k = 2 row) — proves the
+# replica pool, estimators and both engines run end to end. The exact
+# full-grid comparison is in the full tier below.
+run_step "montecarlo smoke (n = 64, release)" \
+    cargo run --release -p treecast-bench --bin bench_montecarlo -- --smoke
 # Static analysis: the six workspace rules (layering DAG, panic policy,
 # unsafe hygiene, bench-gate coverage, feature hygiene, doc coverage)
 # with the checked-in allowlist, gated against the per-rule baseline so
@@ -120,6 +127,9 @@ if [[ "$TIER" != quick ]]; then
     run_step "server bench gate (exact cells + warm wall + 5x floor)" \
         cargo run --release -p treecast-bench --bin bench_server -- \
         --check results/BENCH_server_baseline.json
+    run_step "montecarlo bench gate (exact estimator cells + grid wall)" \
+        cargo run --release -p treecast-bench --bin bench_montecarlo -- \
+        --check results/BENCH_montecarlo_baseline.json
     # The beam/greedy/exact differential harness, the fault-layer
     # scenario properties, and the sparse-vs-dense frontier differential
     # suite, in release mode (they also run in the debug tier-1 pass;
@@ -132,8 +142,9 @@ if [[ "$TIER" != quick ]]; then
     # workload, faults included (also in the debug tier-1 pass).
     run_step "server differential tests (release)" \
         cargo test -q --release -p treecast --test server_differential
-    # Concurrency-determinism audit: the three threaded subsystems
-    # (sharded compose, solver discovery, server worker pool) across
+    # Concurrency-determinism audit: the four threaded subsystems
+    # (sharded compose, solver discovery, server worker pool, Monte
+    # Carlo replica pool) across
     # {1,2,4,8} threads must be bit-identical, with the debug_validate
     # invariant checkers live — hence a DEBUG build, not --release.
     # Combined with --rules all so the checked-in results/ANALYZE.json

@@ -296,6 +296,7 @@ where
     if let Some((_, schedule)) = best_full {
         return collect_schedule(&schedule);
     }
+    // analyze: allow(panic): the beam is seeded with the root state and never drained below one entry
     let best = beam.into_iter().next().expect("beam is never empty");
     let mut schedule = collect_schedule(&best.schedule);
     // Cap hit with survivors: append one closing candidate so the schedule
@@ -429,6 +430,7 @@ where
         }
         self.replay
             .as_mut()
+            // analyze: allow(panic): the replay plan is initialized by the branch above on first call
             .expect("initialized above")
             .next_tree(state)
     }

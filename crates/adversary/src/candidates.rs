@@ -206,6 +206,7 @@ fn broom_with_order(order: &[NodeId], handle_len: usize) -> RootedTree {
     for i in handle_len..n {
         parent[order[i]] = Some(order[handle_len - 1]);
     }
+    // analyze: allow(panic): the ordered-broom parent array is acyclic by construction
     RootedTree::from_parents(parent).expect("ordered broom is a valid tree")
 }
 
@@ -395,6 +396,7 @@ fn ordered_exact_leaf_path_like(n: usize, k: usize, order: &[NodeId]) -> RootedT
     for (j, i) in (spine + 1..n).enumerate() {
         parent[order[i]] = Some(order[j % spine]);
     }
+    // analyze: allow(panic): the ordered-caterpillar parent array is acyclic by construction
     let t = RootedTree::from_parents(parent).expect("ordered caterpillar is valid");
     debug_assert_eq!(t.leaf_count(), k);
     t
@@ -409,6 +411,7 @@ fn ordered_exact_inner_broom(n: usize, k: usize, order: &[NodeId]) -> RootedTree
     for i in k..n {
         parent[order[i]] = Some(order[k - 1]);
     }
+    // analyze: allow(panic): the ordered-broom parent array is acyclic by construction
     let t = RootedTree::from_parents(parent).expect("ordered broom is valid");
     debug_assert_eq!(t.inner_count(), k);
     t

@@ -116,6 +116,7 @@ impl<P: CandidateGen, O: Objective> TreeSource for GreedyAdversary<P, O> {
             .map(|t| (self.objective.score(state, &t), t))
             .min_by_key(|(score, _)| *score)
             .map(|(_, t)| t)
+            // analyze: allow(panic): the pool contract guarantees at least one candidate tree
             .expect("candidate pools are non-empty")
     }
 
@@ -195,6 +196,7 @@ impl<P: CandidateGen, O: Objective> TreeSource for LookaheadAdversary<P, O> {
             }
         }
         best.map(|(_, _, t)| t)
+            // analyze: allow(panic): the pool contract guarantees at least one candidate tree
             .expect("candidate pools are non-empty")
     }
 
@@ -234,6 +236,7 @@ impl TreeSource for FreezeLeaderAdversary {
         let heard = state.heard_weights();
         let leader = (0..n)
             .min_by_key(|&v| (std::cmp::Reverse(reach[v]), v))
+            // analyze: allow(panic): simulations run with n >= 1, so 0..n is non-empty
             .expect("n ≥ 1");
         if reach[leader] >= n {
             // Already broadcast; play anything.

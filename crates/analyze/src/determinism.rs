@@ -1,6 +1,6 @@
 //! The concurrency-determinism audit (`analyze --determinism`).
 //!
-//! The workspace has three threaded subsystems, and all three promise
+//! The workspace has four threaded subsystems, and all four promise
 //! *bit-identical* outputs regardless of thread count:
 //!
 //! * the row-sharded boolean composition kernel
@@ -8,12 +8,14 @@
 //! * the solver's sharded layer expansion
 //!   ([`treecast_solver::SolveOptions::threads`]),
 //! * the server's worker pool
-//!   ([`treecast_server::Server::serve_batch`]).
+//!   ([`treecast_server::Server::serve_batch`]),
+//! * the Monte Carlo replica pool
+//!   ([`treecast_montecarlo::estimate`]).
 //!
 //! Each audit runs its subsystem across thread counts {1, 2, 4, 8} on
 //! seeded inputs and compares every output against the single-threaded
 //! reference with `==` (the types compare structurally, so this is
-//! bit-identity of the results). A fourth, single-threaded audit replays
+//! bit-identity of the results). A further, single-threaded audit replays
 //! the frontier engine to exercise [`FrontierState::debug_validate`]
 //! between rounds.
 //!
@@ -26,6 +28,7 @@
 
 use treecast_bitmatrix::BoolMatrix;
 use treecast_core::{FrontierSource, FrontierState, RoundFaults};
+use treecast_montecarlo::{estimate, FaultSpec, MonteCarloEstimate, RunSpec, TreeSpec};
 use treecast_server::{
     CacheConfig, ObjectiveSpec, PoolSpec, Request, Response, Schedule, Server, ServerConfig,
     WorkloadSpec,
@@ -41,7 +44,7 @@ pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// One subsystem's verdict.
 #[derive(Debug, Clone)]
 pub struct SubsystemAudit {
-    /// Subsystem name (`compose`, `solver`, `server`,
+    /// Subsystem name (`compose`, `solver`, `server`, `montecarlo`,
     /// `frontier-invariants`).
     pub name: &'static str,
     /// Thread counts exercised.
@@ -71,7 +74,7 @@ pub struct DeterminismReport {
 }
 
 impl DeterminismReport {
-    /// Runs all four audits. Deterministic by construction — every input
+    /// Runs all five audits. Deterministic by construction — every input
     /// is seeded.
     #[must_use]
     pub fn run() -> Self {
@@ -80,6 +83,7 @@ impl DeterminismReport {
                 audit_compose(),
                 audit_solver(),
                 audit_server(),
+                audit_montecarlo(),
                 audit_frontier_invariants(),
             ],
         }
@@ -397,6 +401,77 @@ fn audit_server() -> SubsystemAudit {
     }
 }
 
+/// Folds an estimate's statistics into the audit fingerprint: the exact
+/// integer cells plus the IEEE bit patterns of the derived floats, so a
+/// single ULP of drift in any thread count's merge would show.
+fn estimate_fingerprint(acc: u64, est: &MonteCarloEstimate) -> u64 {
+    let ints = [
+        est.stats.completed(),
+        est.stats.censored(),
+        est.stats.total_rounds(),
+        est.stats.min().unwrap_or(0),
+        est.stats.max().unwrap_or(0),
+    ];
+    let floats = [
+        est.stats.mean(),
+        est.stats.std_dev(),
+        est.stats.p50().unwrap_or(0.0),
+        est.stats.p90().unwrap_or(0.0),
+        est.stats.p99().unwrap_or(0.0),
+    ];
+    let acc = ints.iter().fold(acc, |a, &x| fold(a, x));
+    floats.iter().fold(acc, |a, &x| fold(a, x.to_bits()))
+}
+
+/// Drives the Monte Carlo replica pool — the workspace's fourth threaded
+/// subsystem — across the audited thread counts on one cell per engine
+/// (dense static, dense seeded-dynamic, frontier-sparse) and compares the
+/// full estimates (moments, P² quantile markers, censor counts) against
+/// the single-threaded reference with `==`. The slot-per-replica merge
+/// promises bit identity, not mere statistical agreement.
+fn audit_montecarlo() -> SubsystemAudit {
+    let specs = [
+        RunSpec::new(64, 1, TreeSpec::Path, FaultSpec::loss(25))
+            .with_replicas(24)
+            .with_seed(21),
+        RunSpec::new(48, 2, TreeSpec::SeededUniform, FaultSpec::dropout(10, 2))
+            .with_replicas(24)
+            .with_seed(22),
+        // n > DENSE_MAX_N: the frontier-sparse engine path.
+        RunSpec::new(2048, 4, TreeSpec::SeededUniform, FaultSpec::loss(10))
+            .with_replicas(8)
+            .with_budget(512)
+            .with_seed(23),
+    ];
+    let mut mismatches = Vec::new();
+    let mut fingerprint = 0u64;
+    let mut cases = 0;
+    for spec in &specs {
+        let reference = estimate(spec, 1);
+        fingerprint = estimate_fingerprint(fingerprint, &reference);
+        for &threads in &THREAD_COUNTS[1..] {
+            let r = estimate(spec, threads);
+            cases += 1;
+            if r != reference {
+                mismatches.push(format!(
+                    "montecarlo n={} k={} {} threads={threads}: estimate differs \
+                     from the serial reference",
+                    spec.n,
+                    spec.k,
+                    spec.faults.label()
+                ));
+            }
+        }
+    }
+    SubsystemAudit {
+        name: "montecarlo",
+        threads: THREAD_COUNTS.to_vec(),
+        cases,
+        fingerprint,
+        mismatches,
+    }
+}
+
 /// Replays the frontier engine on seeded dynamic trees, validating the
 /// state's structural invariants every round and checking that a second
 /// replay reproduces the first bit-for-bit.
@@ -489,5 +564,13 @@ mod tests {
     fn frontier_audit_passes() {
         let audit = audit_frontier_invariants();
         assert!(audit.passed(), "{:?}", audit.mismatches);
+    }
+
+    #[test]
+    fn montecarlo_audit_passes() {
+        let audit = audit_montecarlo();
+        assert!(audit.passed(), "{:?}", audit.mismatches);
+        assert!(audit.cases > 0);
+        assert_ne!(audit.fingerprint, 0, "fingerprint must bind the outputs");
     }
 }

@@ -3,7 +3,7 @@
 //! The workspace architecture is a strict DAG:
 //!
 //! ```text
-//! bitmatrix → trees → core → {adversary, solver, nonsplit}
+//! bitmatrix → trees → core → {adversary, solver, nonsplit, montecarlo}
 //!                              → {server, client} → bench
 //! ```
 //!
@@ -35,6 +35,7 @@ pub const DAG: &[(&str, &[&str])] = &[
     ("treecast-adversary", &["treecast-core"]),
     ("treecast-solver", &["treecast-core"]),
     ("treecast-nonsplit", &["treecast-core"]),
+    ("treecast-montecarlo", &["treecast-core"]),
     ("treecast-server", &["treecast-adversary", "treecast-core"]),
     ("treecast-client", &["treecast-server", "treecast-core"]),
     (
@@ -42,17 +43,22 @@ pub const DAG: &[(&str, &[&str])] = &[
         &[
             "treecast-adversary",
             "treecast-client",
+            "treecast-montecarlo",
             "treecast-nonsplit",
             "treecast-server",
             "treecast-solver",
         ],
     ),
-    ("treecast-analyze", &["treecast-server", "treecast-solver"]),
+    (
+        "treecast-analyze",
+        &["treecast-montecarlo", "treecast-server", "treecast-solver"],
+    ),
     (
         "treecast",
         &[
             "treecast-adversary",
             "treecast-client",
+            "treecast-montecarlo",
             "treecast-nonsplit",
             "treecast-server",
             "treecast-solver",

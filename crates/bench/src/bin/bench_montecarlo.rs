@@ -1,0 +1,101 @@
+//! Monte Carlo measurement harness: runs the gated estimator cells
+//! (static-path loss sweep plus seeded-uniform k ≥ 2 rows at n = 64)
+//! and emits `results/BENCH_montecarlo.json` with each cell's exact
+//! integer statistics, derived floats, and wall time.
+//!
+//! ```text
+//! cargo run --release -p treecast-bench --bin bench_montecarlo -- --smoke # quick tier
+//! cargo run --release -p treecast-bench --bin bench_montecarlo            # full grid
+//! cargo run --release -p treecast-bench --bin bench_montecarlo -- \
+//!     --check results/BENCH_montecarlo_baseline.json   # CI gate
+//! ```
+//!
+//! With `--check <baseline>` the run exits nonzero if (a) any cell's
+//! `completed` / `censored` / `total_rounds` differs from the baseline —
+//! every cell is a seeded replica pool, so this is a correctness gate
+//! that is never skipped — or (b) the grid's wall time per executed
+//! replica round is more than 25% slower (skippable via
+//! `TREECAST_BENCH_GATE=off`). The baseline records the full grid, so
+//! `--check` implies the full grid; `--smoke` is for the quick tier and
+//! skips the comparison.
+
+use treecast_bench::gate::{check_arg, enforce_exact, enforce_wall};
+use treecast_bench::montecarlobench::{
+    measure_gate_rows, parse_cells, parse_sweep_ns_per_round, render_report, sweep_ns_per_round,
+    CellMeasurement, GATE_N, GATE_REPLICAS,
+};
+
+fn print_rows(rows: &[CellMeasurement]) {
+    for r in rows {
+        let mean = if r.completed > 0 {
+            format!("{:.1}±{:.1}", r.mean, r.ci95.max(0.0))
+        } else {
+            "stalled".into()
+        };
+        println!(
+            "  {:<26} {:<16} {:<14} n={:<5} done={:<3} cens={:<3} rounds={:<8} mean={:<12} p90={:<8.1} wall={:>8.1} ms",
+            r.workload,
+            r.source,
+            r.faults,
+            r.n,
+            r.completed,
+            r.censored,
+            r.total_rounds,
+            mean,
+            r.p90,
+            r.wall_ms,
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_baseline = check_arg(&args);
+    let smoke = args.iter().any(|a| a == "--smoke") && check_baseline.is_none();
+
+    println!(
+        "montecarlo {} cells (n = {GATE_N}, {GATE_REPLICAS} replicas each)...",
+        if smoke { "smoke" } else { "gate" }
+    );
+    let rows = measure_gate_rows(smoke);
+    print_rows(&rows);
+    println!(
+        "  grid wall: {:.0} ns per executed replica round",
+        sweep_ns_per_round(&rows)
+    );
+
+    let report = render_report(&rows);
+    let out_path = std::path::Path::new("results/BENCH_montecarlo.json");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(out_path, &report).expect("write BENCH_montecarlo.json");
+    println!("wrote {}", out_path.display());
+
+    let Some(baseline_path) = check_baseline else {
+        return;
+    };
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+
+    // Half 1: exact integer statistics of every cell, never skipped.
+    let current = parse_cells(&report);
+    enforce_exact(
+        &current,
+        &parse_cells(&baseline),
+        &format!(
+            "gate ok: all {} montecarlo estimator cells match the baseline exactly",
+            current.len()
+        ),
+    );
+
+    // Half 2: wall per executed replica round over the whole grid, +25%,
+    // skippable.
+    let base_ns = parse_sweep_ns_per_round(&baseline)
+        .unwrap_or_else(|| panic!("baseline {baseline_path} has no sweep_ns_per_round"));
+    let now_ns = parse_sweep_ns_per_round(&report).expect("the grid was just measured");
+    enforce_wall(
+        &format!("montecarlo grid n={GATE_N}"),
+        now_ns,
+        base_ns,
+        |ns| format!("{ns:.0} ns/replica-round"),
+    );
+}

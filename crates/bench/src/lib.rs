@@ -13,6 +13,7 @@ pub mod composebench;
 pub mod experiments;
 pub mod frontierbench;
 pub mod gate;
+pub mod montecarlobench;
 pub mod serverbench;
 pub mod solverbench;
 pub mod workloadbench;

@@ -254,6 +254,7 @@ impl RunReport {
     /// Panics if broadcast was not achieved.
     pub fn broadcast_time_or_panic(&self) -> u64 {
         self.broadcast_time.unwrap_or_else(|| {
+            // analyze: allow(panic): documented panicking accessor (the _or_panic suffix is the contract)
             panic!(
                 "source {:?} did not broadcast within {} rounds at n = {}",
                 self.source, self.rounds, self.n
@@ -325,6 +326,7 @@ pub fn simulate_observed<S: TreeSource + ?Sized>(
             StopCondition::Broadcast => RunOutcome::Broadcast {
                 witness: state
                     .broadcast_witness()
+                    // analyze: allow(panic): the Broadcast stop condition fired, so a witness row exists
                     .expect("stop condition implies a witness"),
             },
             StopCondition::Gossip => RunOutcome::Gossip,

@@ -556,6 +556,7 @@ impl FrontierSource {
             SourceKind::Seeded { .. } => self
                 .current
                 .as_ref()
+                // analyze: allow(panic): next_round populates the seeded source's current tree before any access
                 .expect("seeded source advanced by next_round"),
         }
     }

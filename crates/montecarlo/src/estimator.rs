@@ -1,0 +1,473 @@
+//! Fixed-memory online estimators for per-replica round counts: running
+//! moments (Welford), P² streaming quantiles (Jain & Chlamtač 1985),
+//! normal and Wilson confidence intervals, and the censoring-aware
+//! [`RoundStats`] aggregate the sweep layer reports.
+//!
+//! All estimators consume observations one at a time in a fixed order
+//! (the replica pool merges per-shard results in shard order before
+//! feeding them in), so every statistic is a pure function of the
+//! observation *sequence* — which is what makes the Monte Carlo layer
+//! bit-identical across thread counts and gate-exact across runs.
+//!
+//! Censoring is explicit: a replica that exhausts its round budget never
+//! enters the mean or the quantile markers. It lands in
+//! [`RoundStats::censored`] and surfaces as a stall probability with a
+//! Wilson score interval — a stalled cell reads as "p(stall) ≈ 1", not
+//! as a silently truncated mean.
+
+/// Two-sided 95% normal critical value, the default for every interval
+/// in this crate.
+pub const Z_95: f64 = 1.959_963_984_540_054;
+
+/// Running mean and variance over a stream of observations
+/// (Welford's algorithm: one pass, O(1) memory, no catastrophic
+/// cancellation).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OnlineMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineMoments {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        OnlineMoments::default()
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (n − 1 denominator); 0 below two
+    /// observations.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Half-width of the two-sided normal confidence interval on the
+    /// mean at critical value `z` (`z·s/√n`); 0 below two observations.
+    #[must_use]
+    pub fn ci_half_width(&self, z: f64) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            z * self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+}
+
+/// Streaming quantile estimator: the P² algorithm with five markers.
+///
+/// Memory is O(1) regardless of stream length. The first five
+/// observations are held exactly; from the sixth on, marker heights
+/// follow the piecewise-parabolic update of Jain & Chlamtač. For short
+/// streams (≤ 5) the estimate equals the exact nearest-rank quantile of
+/// the observations seen.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights q₀ ≤ … ≤ q₄.
+    q: [f64; 5],
+    /// Actual marker positions (1-based observation ranks).
+    pos: [f64; 5],
+    /// Desired marker positions.
+    want: [f64; 5],
+    /// Per-observation increments of the desired positions.
+    dwant: [f64; 5],
+    count: u64,
+}
+
+impl P2Quantile {
+    /// An estimator for the `p`-quantile, `0 < p < 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not strictly inside (0, 1).
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile p = {p} must be in (0, 1)");
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            pos: [1.0, 2.0, 3.0, 4.0, 5.0],
+            want: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dwant: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The tracked quantile parameter.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.count <= 5 {
+            // Exact phase: insert into the sorted prefix.
+            let k = self.count as usize;
+            self.q[k - 1] = x;
+            self.q[..k].sort_by(f64::total_cmp);
+            return;
+        }
+        // Locate the cell and stretch the extreme markers.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            // q[k] <= x < q[k+1]; k in 0..=3.
+            (0..4).rfind(|&i| self.q[i] <= x).unwrap_or(0)
+        };
+        for i in (k + 1)..5 {
+            self.pos[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.want[i] += self.dwant[i];
+        }
+        // Adjust the three interior markers.
+        for i in 1..4 {
+            let d = self.want[i] - self.pos[i];
+            if (d >= 1.0 && self.pos[i + 1] - self.pos[i] > 1.0)
+                || (d <= -1.0 && self.pos[i - 1] - self.pos[i] < -1.0)
+            {
+                let d = d.signum();
+                let parabolic = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < parabolic && parabolic < self.q[i + 1] {
+                    parabolic
+                } else {
+                    self.linear(i, d)
+                };
+                self.pos[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (qm, q, qp) = (self.q[i - 1], self.q[i], self.q[i + 1]);
+        let (nm, n, np) = (self.pos[i - 1], self.pos[i], self.pos[i + 1]);
+        q + d / (np - nm)
+            * ((n - nm + d) * (qp - q) / (np - n) + (np - n - d) * (q - qm) / (n - nm))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.pos[j] - self.pos[i])
+    }
+
+    /// The current quantile estimate; `None` before the first
+    /// observation.
+    #[must_use]
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            c if c <= 5 => {
+                // Exact nearest-rank quantile of the sorted prefix.
+                let k = c as usize;
+                let rank = (self.p * k as f64).ceil().max(1.0) as usize;
+                Some(self.q[rank.min(k) - 1])
+            }
+            _ => Some(self.q[2]),
+        }
+    }
+}
+
+/// Wilson score interval for a binomial proportion: `(low, high)` bounds
+/// on the success probability after `successes` out of `trials` at
+/// critical value `z`. Unlike the normal approximation it stays inside
+/// [0, 1] and behaves at the extremes (0 or all successes) — which is
+/// exactly where stall probabilities live.
+///
+/// Returns `(0, 1)` for zero trials (no information).
+#[must_use]
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let phat = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (phat + z2 / (2.0 * n)) / denom;
+    let half = z * (phat * (1.0 - phat) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Censoring-aware summary of a replica batch's completion rounds.
+///
+/// Completed replicas feed the moments and the three quantile trackers;
+/// censored replicas (round budget exhausted) are *only* counted — they
+/// never bias the mean or the quantiles silently. Their weight surfaces
+/// as [`RoundStats::stall_rate`] with a Wilson interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundStats {
+    moments: OnlineMoments,
+    p50: P2Quantile,
+    p90: P2Quantile,
+    p99: P2Quantile,
+    censored: u64,
+    min: u64,
+    max: u64,
+    /// Sum of completed replicas' rounds — an integer, so the bench
+    /// gate's exact half can pin it with zero float-format risk.
+    total_rounds: u64,
+}
+
+impl Default for RoundStats {
+    fn default() -> Self {
+        RoundStats::new()
+    }
+}
+
+impl RoundStats {
+    /// An empty aggregate.
+    #[must_use]
+    pub fn new() -> Self {
+        RoundStats {
+            moments: OnlineMoments::new(),
+            p50: P2Quantile::new(0.5),
+            p90: P2Quantile::new(0.9),
+            p99: P2Quantile::new(0.99),
+            censored: 0,
+            min: u64::MAX,
+            max: 0,
+            total_rounds: 0,
+        }
+    }
+
+    /// Folds one completed replica's round count in.
+    pub fn push_completed(&mut self, rounds: u64) {
+        let x = rounds as f64;
+        self.moments.push(x);
+        self.p50.push(x);
+        self.p90.push(x);
+        self.p99.push(x);
+        self.min = self.min.min(rounds);
+        self.max = self.max.max(rounds);
+        self.total_rounds += rounds;
+    }
+
+    /// Records one censored replica (budget exhausted before the
+    /// workload completed).
+    pub fn push_censored(&mut self) {
+        self.censored += 1;
+    }
+
+    /// Completed replicas.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.moments.count()
+    }
+
+    /// Censored replicas.
+    #[must_use]
+    pub fn censored(&self) -> u64 {
+        self.censored
+    }
+
+    /// All replicas seen.
+    #[must_use]
+    pub fn replicas(&self) -> u64 {
+        self.completed() + self.censored
+    }
+
+    /// Mean rounds over *completed* replicas.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.moments.mean()
+    }
+
+    /// Sample standard deviation over completed replicas.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.moments.std_dev()
+    }
+
+    /// 95% normal CI half-width on the mean.
+    #[must_use]
+    pub fn ci95(&self) -> f64 {
+        self.moments.ci_half_width(Z_95)
+    }
+
+    /// P² estimate of the median completion round.
+    #[must_use]
+    pub fn p50(&self) -> Option<f64> {
+        self.p50.estimate()
+    }
+
+    /// P² estimate of the 90th-percentile completion round.
+    #[must_use]
+    pub fn p90(&self) -> Option<f64> {
+        self.p90.estimate()
+    }
+
+    /// P² estimate of the 99th-percentile completion round.
+    #[must_use]
+    pub fn p99(&self) -> Option<f64> {
+        self.p99.estimate()
+    }
+
+    /// Fastest completed replica; `None` if none completed.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.min != u64::MAX).then_some(self.min)
+    }
+
+    /// Slowest completed replica; `None` if none completed.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.completed() > 0).then_some(self.max)
+    }
+
+    /// Sum of completed replicas' rounds (exact-gate material).
+    #[must_use]
+    pub fn total_rounds(&self) -> u64 {
+        self.total_rounds
+    }
+
+    /// Point estimate of the stall probability: censored / replicas.
+    #[must_use]
+    pub fn stall_rate(&self) -> f64 {
+        if self.replicas() == 0 {
+            0.0
+        } else {
+            self.censored as f64 / self.replicas() as f64
+        }
+    }
+
+    /// Wilson 95% interval on the stall probability.
+    #[must_use]
+    pub fn stall_interval(&self) -> (f64, f64) {
+        wilson_interval(self.censored, self.replicas(), Z_95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_match_two_pass_reference() {
+        let xs = [3.0, 1.5, 8.0, 2.5, 9.0, 4.0, 4.0, 7.5];
+        let mut m = OnlineMoments::new();
+        for &x in &xs {
+            m.push(x);
+        }
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 =
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((m.mean() - mean).abs() < 1e-12);
+        assert!((m.variance() - var).abs() < 1e-12);
+        assert!(m.ci_half_width(Z_95) > 0.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_moments_are_defined() {
+        let mut m = OnlineMoments::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        m.push(5.0);
+        assert_eq!(m.mean(), 5.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.ci_half_width(Z_95), 0.0);
+    }
+
+    #[test]
+    fn p2_is_exact_up_to_five_observations() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.estimate(), None);
+        for (i, x) in [9.0, 1.0, 5.0, 7.0, 3.0].into_iter().enumerate() {
+            q.push(x);
+            assert!(q.estimate().is_some(), "estimate live after obs {i}");
+        }
+        // Exact median of {1,3,5,7,9} at nearest rank ceil(0.5·5) = 3.
+        assert_eq!(q.estimate(), Some(5.0));
+    }
+
+    #[test]
+    fn wilson_is_sane_at_the_extremes() {
+        assert_eq!(wilson_interval(0, 0, Z_95), (0.0, 1.0));
+        let (lo, hi) = wilson_interval(0, 20, Z_95);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.3, "hi = {hi}");
+        let (lo, hi) = wilson_interval(20, 20, Z_95);
+        assert!(lo > 0.7 && lo < 1.0, "lo = {lo}");
+        assert_eq!(hi, 1.0);
+        let (lo, hi) = wilson_interval(10, 20, Z_95);
+        assert!(lo < 0.5 && 0.5 < hi);
+    }
+
+    #[test]
+    fn round_stats_separate_censored_from_completed() {
+        let mut s = RoundStats::new();
+        for r in [10u64, 12, 14] {
+            s.push_completed(r);
+        }
+        s.push_censored();
+        assert_eq!(s.completed(), 3);
+        assert_eq!(s.censored(), 1);
+        assert_eq!(s.replicas(), 4);
+        assert_eq!(s.total_rounds(), 36);
+        assert!((s.mean() - 12.0).abs() < 1e-12, "censored must not bias");
+        assert_eq!(s.min(), Some(10));
+        assert_eq!(s.max(), Some(14));
+        assert!((s.stall_rate() - 0.25).abs() < 1e-12);
+        let (lo, hi) = s.stall_interval();
+        assert!(lo < 0.25 && 0.25 < hi);
+    }
+
+    #[test]
+    fn all_censored_cell_reads_as_stalled() {
+        let mut s = RoundStats::new();
+        for _ in 0..8 {
+            s.push_censored();
+        }
+        assert_eq!(s.completed(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.p50(), None);
+        assert_eq!(s.stall_rate(), 1.0);
+        let (lo, _) = s.stall_interval();
+        assert!(lo > 0.6);
+    }
+}

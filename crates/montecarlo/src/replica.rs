@@ -1,0 +1,524 @@
+//! Seeded replica execution: one [`RunSpec`] describes a (workload ×
+//! fault model × tree source × engine) cell, [`run_replicas`] fans R
+//! independent replicas out over a `std::thread::scope` worker pool, and
+//! [`estimate`] folds the outcomes into a censoring-aware
+//! [`MonteCarloEstimate`].
+//!
+//! # Determinism contract
+//!
+//! Replica `r` of a spec with base seed `s` always runs with the derived
+//! seed `splitmix64(s ⊕ (r+1))` — no global RNG, no thread-local state.
+//! The worker pool writes each replica's outcome into its own
+//! preassigned slot of the result vector (contiguous chunks, one per
+//! worker), so the merged outcome sequence is the replica-index order
+//! regardless of thread count or scheduling. The estimators then consume
+//! that sequence serially. Every statistic is therefore bit-identical
+//! for 1, 2, 4 or 8 workers — `analyze --determinism` audits exactly
+//! this property.
+//!
+//! # Engine selection
+//!
+//! Cells with `n ≤` [`DENSE_MAX_N`] run on the dense engine
+//! ([`run_workload_faulty`]); larger cells run on the frontier-sparse
+//! engine ([`run_workload_frontier_faulty`]). The two are proven
+//! round-for-round identical (`tests/frontier_differential.rs`), so the
+//! switch is invisible in the statistics — a property
+//! `crates/montecarlo/tests/differential.rs` re-checks through this
+//! layer.
+
+use treecast_core::frontier::{run_workload_frontier_faulty, FrontierSource};
+use treecast_core::scenario::{run_workload_faulty, FaultModel, RoundFaults, SeededFaults};
+use treecast_core::{KSourceBroadcast, SimulationConfig, Workload, WorkloadOutcome};
+use treecast_trees::generators;
+
+use crate::estimator::RoundStats;
+
+/// Largest `n` the dense (bit-matrix state) engine serves; above this
+/// every replica runs on the frontier-sparse engine.
+pub const DENSE_MAX_N: usize = 1024;
+
+/// The tree source a replica runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeSpec {
+    /// The static path — the paper's Θ(n)-diameter worst case. The same
+    /// tree every round and every replica; all randomness comes from the
+    /// fault model.
+    Path,
+    /// The static star rooted at its center — the one-round broadcast
+    /// topology.
+    Star,
+    /// A fresh uniform random arborescence every round, seeded per
+    /// replica (replica `r` draws an independent tree stream).
+    SeededUniform,
+}
+
+impl TreeSpec {
+    /// Human-readable label for tables and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TreeSpec::Path => "static(path)",
+            TreeSpec::Star => "static(star)",
+            TreeSpec::SeededUniform => "seeded-uniform",
+        }
+    }
+}
+
+/// The randomized fault mix of a cell, applied through
+/// [`SeededFaults`] plus an optional deterministic root rotation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Per-round per-node token-loss probability, percent (0..=100).
+    pub loss_percent: u32,
+    /// Per-round per-node dropout probability, percent (0..=100).
+    pub dropout_percent: u32,
+    /// Rounds a dropped-out node stays offline (≥ 1 when dropout is on).
+    pub dropout_rounds: u64,
+    /// Re-root the round at a deterministic rotating node every
+    /// `period` rounds; `None` keeps the source's roots.
+    pub rotation_period: Option<u64>,
+}
+
+impl FaultSpec {
+    /// The fault-free mix.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultSpec::default()
+    }
+
+    /// Token loss at `percent`%.
+    #[must_use]
+    pub fn loss(percent: u32) -> Self {
+        FaultSpec {
+            loss_percent: percent,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// Dropout at `percent`% for `rounds` rounds per event.
+    #[must_use]
+    pub fn dropout(percent: u32, rounds: u64) -> Self {
+        FaultSpec {
+            dropout_percent: percent,
+            dropout_rounds: rounds,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// Deterministic root rotation with the given period.
+    #[must_use]
+    pub fn rotation(period: u64) -> Self {
+        FaultSpec {
+            rotation_period: Some(period),
+            ..FaultSpec::default()
+        }
+    }
+
+    /// `true` when no fault class is enabled.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.loss_percent == 0 && self.dropout_percent == 0 && self.rotation_period.is_none()
+    }
+
+    /// Human-readable label for tables and reports.
+    #[must_use]
+    pub fn label(&self) -> String {
+        if self.is_quiet() {
+            return "no-faults".into();
+        }
+        let mut parts = Vec::new();
+        if self.loss_percent > 0 {
+            parts.push(format!("loss={}%", self.loss_percent));
+        }
+        if self.dropout_percent > 0 {
+            parts.push(format!(
+                "drop={}%x{}",
+                self.dropout_percent,
+                self.dropout_rounds.max(1)
+            ));
+        }
+        if let Some(period) = self.rotation_period {
+            parts.push(format!("rotate={period}"));
+        }
+        parts.join(",")
+    }
+
+    /// Builds the per-replica fault model for `seed`.
+    fn model(&self, seed: u64) -> SpecFaults {
+        let mut seeded = SeededFaults::new(seed);
+        if self.loss_percent > 0 {
+            seeded = seeded.with_token_loss(self.loss_percent);
+        }
+        if self.dropout_percent > 0 {
+            seeded = seeded.with_dropout(self.dropout_percent, self.dropout_rounds.max(1));
+        }
+        SpecFaults {
+            seeded,
+            rotation_period: self.rotation_period,
+        }
+    }
+}
+
+/// [`SeededFaults`] composed with the deterministic root rotation —
+/// the loss/dropout stream stays seeded while the root walks the node
+/// ring with a fixed period (matching [`treecast_core::RotatingRoot`]).
+struct SpecFaults {
+    seeded: SeededFaults,
+    rotation_period: Option<u64>,
+}
+
+impl FaultModel for SpecFaults {
+    fn faults(&mut self, round: u64, n: usize) -> RoundFaults {
+        let mut rf = self.seeded.faults(round, n);
+        if let Some(period) = self.rotation_period {
+            rf.root = Some((((round - 1) / period) % n as u64) as usize);
+        }
+        rf
+    }
+
+    fn name(&self) -> String {
+        match self.rotation_period {
+            Some(period) => format!("{}+rotate({period})", self.seeded.name()),
+            None => self.seeded.name(),
+        }
+    }
+}
+
+/// One Monte Carlo cell: R replicas of a (workload × faults × trees)
+/// configuration with a shared round budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Network size.
+    pub n: usize,
+    /// Tracked sources: the workload is `KSourceBroadcast` over `k`
+    /// evenly spread tokens (`k = 1` is plain broadcast; `k = n` is the
+    /// tracked equivalent of gossip).
+    pub k: usize,
+    /// Tree source.
+    pub trees: TreeSpec,
+    /// Randomized fault mix.
+    pub faults: FaultSpec,
+    /// Round budget per replica; replicas still incomplete at the
+    /// budget are *censored*, not averaged.
+    pub round_budget: u64,
+    /// Number of independent replicas.
+    pub replicas: usize,
+    /// Base seed; replica `r` derives `splitmix64(base ⊕ (r+1))`.
+    pub base_seed: u64,
+}
+
+impl RunSpec {
+    /// A cell with sensible defaults: budget scaled to the source's
+    /// fault-free completion regime (see [`default_budget`]), 64
+    /// replicas, a fixed base seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `k` is not in `1..=n`.
+    #[must_use]
+    pub fn new(n: usize, k: usize, trees: TreeSpec, faults: FaultSpec) -> Self {
+        assert!(n >= 1, "n must be positive");
+        assert!(k >= 1 && k <= n, "k = {k} must be in 1..={n}");
+        RunSpec {
+            n,
+            k,
+            trees,
+            faults,
+            round_budget: default_budget(n, trees),
+            replicas: 64,
+            base_seed: 0xE14_5EED,
+        }
+    }
+
+    /// Overrides the replica count.
+    #[must_use]
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Overrides the round budget (the censoring horizon).
+    #[must_use]
+    pub fn with_budget(mut self, round_budget: u64) -> Self {
+        self.round_budget = round_budget;
+        self
+    }
+
+    /// Overrides the base seed.
+    #[must_use]
+    pub fn with_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// `true` when this cell runs on the frontier-sparse engine.
+    #[must_use]
+    pub fn uses_frontier(&self) -> bool {
+        self.n > DENSE_MAX_N
+    }
+
+    /// The workload label (`k-source-broadcast(k=…)`).
+    #[must_use]
+    pub fn workload_label(&self) -> String {
+        Workload::name(&KSourceBroadcast::evenly_spread(self.n, self.k))
+    }
+}
+
+/// The default censoring budget for a cell: a generous multiple of the
+/// fault-free completion regime — 8(n−1) rounds for the static sources
+/// (path diameter territory) and `64·⌈log₂ n⌉` for per-round uniform
+/// trees (the O(log n) gossip regime), floored at 64 rounds.
+#[must_use]
+pub fn default_budget(n: usize, trees: TreeSpec) -> u64 {
+    let base = match trees {
+        TreeSpec::Path | TreeSpec::Star => 8 * (n as u64).saturating_sub(1),
+        TreeSpec::SeededUniform => 64 * (usize::BITS - n.leading_zeros()) as u64,
+    };
+    base.max(64)
+}
+
+/// One replica's outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaOutcome {
+    /// Completion round, when the workload finished within budget.
+    pub rounds: Option<u64>,
+}
+
+/// SplitMix64 — the workspace's standard seed-derivation mix.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The derived seed of replica `index` under `base_seed`.
+#[must_use]
+pub fn replica_seed(base_seed: u64, index: usize) -> u64 {
+    splitmix64(base_seed ^ (index as u64 + 1))
+}
+
+/// Runs one replica of `spec` (replica `index`), on the engine the
+/// spec's size selects.
+///
+/// # Panics
+///
+/// Panics on an invalid spec (`n == 0`, `k` out of range) — the same
+/// contract as the underlying runners.
+#[must_use]
+pub fn run_replica(spec: &RunSpec, index: usize) -> ReplicaOutcome {
+    run_replica_on(spec, index, spec.uses_frontier())
+}
+
+/// [`run_replica`] with the engine choice forced: `frontier = false`
+/// runs the dense engine, `true` the frontier-sparse one, regardless of
+/// `n`. The two engines are proven round-for-round identical, so this
+/// only exists for the differential tests that re-prove it through the
+/// Monte Carlo layer (and it lets those tests stay at small n).
+///
+/// # Panics
+///
+/// Panics on an invalid spec (`n == 0`, `k` out of range) — the same
+/// contract as the underlying runners.
+#[must_use]
+pub fn run_replica_on(spec: &RunSpec, index: usize, frontier: bool) -> ReplicaOutcome {
+    let seed = replica_seed(spec.base_seed, index);
+    let workload = KSourceBroadcast::evenly_spread(spec.n, spec.k);
+    let mut faults = spec.faults.model(seed);
+    let config = SimulationConfig::for_n(spec.n).with_max_rounds(spec.round_budget);
+    // An independent tree-stream seed: decorrelated from the fault
+    // stream by a fixed tweak.
+    let tree_seed = splitmix64(seed ^ TREE_STREAM_TWEAK);
+    let report = if frontier {
+        let mut source = match spec.trees {
+            TreeSpec::Path => FrontierSource::fixed(generators::path(spec.n)),
+            TreeSpec::Star => FrontierSource::fixed(generators::star(spec.n)),
+            TreeSpec::SeededUniform => FrontierSource::seeded(spec.n, tree_seed),
+        };
+        run_workload_frontier_faulty(spec.n, &mut source, &workload, &mut faults, config)
+    } else {
+        match spec.trees {
+            TreeSpec::Path => {
+                let mut source = treecast_core::StaticSource::new(generators::path(spec.n));
+                run_workload_faulty(spec.n, &mut source, &workload, &mut faults, config)
+            }
+            TreeSpec::Star => {
+                let mut source = treecast_core::StaticSource::new(generators::star(spec.n));
+                run_workload_faulty(spec.n, &mut source, &workload, &mut faults, config)
+            }
+            TreeSpec::SeededUniform => {
+                // The frontier source's dense twin draws the identical
+                // tree stream, so dense and frontier replicas of the
+                // same seed see the same trees.
+                let mut source =
+                    FrontierSource::seeded(spec.n, tree_seed).dense_twin(spec.round_budget);
+                run_workload_faulty(spec.n, source.as_mut(), &workload, &mut faults, config)
+            }
+        }
+    };
+    ReplicaOutcome {
+        rounds: match report.outcome {
+            WorkloadOutcome::Completed => report.completion_time,
+            WorkloadOutcome::RoundLimit => None,
+        },
+    }
+}
+
+/// Fixed tweak separating a replica's tree-stream seed from its
+/// fault-stream seed.
+const TREE_STREAM_TWEAK: u64 = 0x0007_4EE0_0000_0001;
+
+/// Runs all replicas of `spec` on `threads` workers and returns the
+/// outcomes in replica-index order (the determinism contract — see the
+/// module docs).
+#[must_use]
+pub fn run_replicas(spec: &RunSpec, threads: usize) -> Vec<ReplicaOutcome> {
+    let total = spec.replicas;
+    let mut out = vec![ReplicaOutcome::default(); total];
+    if total == 0 {
+        return out;
+    }
+    let threads = threads.max(1).min(total);
+    if threads == 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = run_replica(spec, i);
+        }
+        return out;
+    }
+    let chunk = total.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (worker, slots) in out.chunks_mut(chunk).enumerate() {
+            let start = worker * chunk;
+            scope.spawn(move || {
+                for (offset, slot) in slots.iter_mut().enumerate() {
+                    *slot = run_replica(spec, start + offset);
+                }
+            });
+        }
+    });
+    out
+}
+
+/// The full estimate of one cell: the spec echo, the censoring-aware
+/// round statistics, and derived labels — everything a sweep row needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloEstimate {
+    /// Network size.
+    pub n: usize,
+    /// Tracked token count.
+    pub k: usize,
+    /// Workload label.
+    pub workload: String,
+    /// Tree-source label.
+    pub source: String,
+    /// Fault-mix label.
+    pub faults: String,
+    /// Round budget (censoring horizon).
+    pub round_budget: u64,
+    /// The aggregated statistics.
+    pub stats: RoundStats,
+}
+
+impl MonteCarloEstimate {
+    /// `true` when a majority of replicas were censored — the cell's
+    /// operational definition of a *stall* (mirroring the proven k ≥ 2
+    /// divergence: expected rounds are unbounded past the transition).
+    #[must_use]
+    pub fn stalled(&self) -> bool {
+        2 * self.stats.censored() > self.stats.replicas()
+    }
+}
+
+/// Runs `spec` on `threads` workers and folds the outcomes (in replica
+/// order) into a [`MonteCarloEstimate`]. Bit-identical for every thread
+/// count.
+///
+/// # Panics
+///
+/// Panics on an invalid spec — same contract as [`run_replica`].
+#[must_use]
+pub fn estimate(spec: &RunSpec, threads: usize) -> MonteCarloEstimate {
+    let outcomes = run_replicas(spec, threads);
+    let mut stats = RoundStats::new();
+    for outcome in &outcomes {
+        match outcome.rounds {
+            Some(rounds) => stats.push_completed(rounds),
+            None => stats.push_censored(),
+        }
+    }
+    MonteCarloEstimate {
+        n: spec.n,
+        k: spec.k,
+        workload: spec.workload_label(),
+        source: spec.trees.label().to_string(),
+        faults: spec.faults.label(),
+        round_budget: spec.round_budget,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_seeds_are_distinct_and_stable() {
+        let a = replica_seed(7, 0);
+        let b = replica_seed(7, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, replica_seed(7, 0), "pure function of (base, index)");
+    }
+
+    #[test]
+    fn fault_free_replicas_all_agree() {
+        let spec = RunSpec::new(16, 1, TreeSpec::Path, FaultSpec::none()).with_replicas(6);
+        let outcomes = run_replicas(&spec, 1);
+        assert!(
+            outcomes.iter().all(|o| o.rounds == Some(15)),
+            "{outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn thread_counts_agree_bit_for_bit() {
+        let spec = RunSpec::new(24, 2, TreeSpec::SeededUniform, FaultSpec::loss(25))
+            .with_replicas(16)
+            .with_seed(42);
+        let reference = estimate(&spec, 1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(estimate(&spec, threads), reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn certain_loss_censors_everything() {
+        // 100% loss wipes every node every round: no foreign token ever
+        // survives, so no replica can complete and all are censored.
+        let spec = RunSpec::new(8, 2, TreeSpec::Path, FaultSpec::loss(100))
+            .with_replicas(5)
+            .with_budget(40);
+        let est = estimate(&spec, 2);
+        assert_eq!(est.stats.censored(), 5);
+        assert_eq!(est.stats.completed(), 0);
+        assert!(est.stalled());
+    }
+
+    #[test]
+    fn labels_round_trip_the_configuration() {
+        let spec = RunSpec::new(32, 4, TreeSpec::SeededUniform, FaultSpec::loss(10));
+        assert_eq!(spec.workload_label(), "k-source-broadcast(k=4)");
+        assert_eq!(spec.trees.label(), "seeded-uniform");
+        assert_eq!(FaultSpec::none().label(), "no-faults");
+        assert_eq!(FaultSpec::loss(10).label(), "loss=10%");
+        assert_eq!(FaultSpec::dropout(5, 2).label(), "drop=5%x2");
+        assert_eq!(FaultSpec::rotation(3).label(), "rotate=3");
+    }
+
+    #[test]
+    fn default_budgets_scale_with_the_regime() {
+        assert_eq!(default_budget(1024, TreeSpec::Path), 8 * 1023);
+        assert_eq!(default_budget(1024, TreeSpec::SeededUniform), 64 * 11);
+        assert_eq!(default_budget(2, TreeSpec::SeededUniform), 128);
+    }
+}

@@ -1,0 +1,170 @@
+//! Parameter-grid sweeps over [`RunSpec`] cells and the
+//! phase-transition readout: where does a (workload, n, source) cell
+//! cross from finite expected dissemination time into censored stalls?
+//!
+//! A sweep varies exactly one fault dimension ([`SweepDim`]) over a
+//! value grid, estimating every grid point with the same replica count,
+//! budget and base seed. The critical value reported by
+//! [`SweepResult::critical_value`] is the first grid point whose cell
+//! *stalls* — a majority of replicas censored at the round budget
+//! ([`MonteCarloEstimate::stalled`]) — the executable mirror of the
+//! companion paper's k ≥ 2 divergence: beyond the transition the
+//! expected completion time is not finite, so no budget is large enough
+//! and the censored count is the honest statistic.
+
+use crate::replica::{estimate, FaultSpec, MonteCarloEstimate, RunSpec};
+
+/// The fault dimension a sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepDim {
+    /// Token-loss probability, percent.
+    LossPercent,
+    /// Dropout probability, percent (events last
+    /// [`FaultSpec::dropout_rounds`] rounds, default 2).
+    DropoutPercent,
+    /// Deterministic root-rotation period, rounds (smaller = more
+    /// hostile).
+    RotationPeriod,
+}
+
+impl SweepDim {
+    /// Column label for tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepDim::LossPercent => "loss %",
+            SweepDim::DropoutPercent => "dropout %",
+            SweepDim::RotationPeriod => "rotation period",
+        }
+    }
+
+    /// The base [`FaultSpec`] with this dimension set to `value`.
+    #[must_use]
+    pub fn fault_spec(self, value: u64) -> FaultSpec {
+        match self {
+            SweepDim::LossPercent => FaultSpec::loss(value as u32),
+            SweepDim::DropoutPercent => FaultSpec::dropout(value as u32, 2),
+            SweepDim::RotationPeriod => {
+                if value == 0 {
+                    FaultSpec::none()
+                } else {
+                    FaultSpec::rotation(value)
+                }
+            }
+        }
+    }
+}
+
+/// One grid point of a sweep: the swept value and its estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// The swept dimension's value at this point.
+    pub value: u64,
+    /// The Monte Carlo estimate of the cell.
+    pub estimate: MonteCarloEstimate,
+}
+
+/// A completed sweep: the grid in ascending order plus the spec echo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// The varied dimension.
+    pub dim: SweepDim,
+    /// Grid points, in the order swept.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepResult {
+    /// The first swept value whose cell stalled (majority censored), if
+    /// any — the located phase transition. For [`SweepDim::LossPercent`]
+    /// and [`SweepDim::DropoutPercent`] grids swept in ascending order
+    /// this is the critical probability; for
+    /// [`SweepDim::RotationPeriod`] grids (hostility *decreases* with
+    /// the value) sweep descending to keep the same reading.
+    #[must_use]
+    pub fn critical_value(&self) -> Option<u64> {
+        self.cells
+            .iter()
+            .find(|c| c.estimate.stalled())
+            .map(|c| c.value)
+    }
+}
+
+/// Sweeps `dim` over `values` for the cell shape of `base` (its fault
+/// spec is replaced per grid point; everything else — n, k, trees,
+/// budget, replicas, seed — is shared). Each grid point runs on
+/// `threads` workers; results are bit-identical for any thread count.
+///
+/// # Panics
+///
+/// Panics on an invalid base spec, or on percent values above 100 for
+/// the probability dimensions.
+#[must_use]
+pub fn sweep(base: &RunSpec, dim: SweepDim, values: &[u64], threads: usize) -> SweepResult {
+    let cells = values
+        .iter()
+        .map(|&value| {
+            let mut spec = base.clone();
+            spec.faults = dim.fault_spec(value);
+            SweepCell {
+                value,
+                estimate: estimate(&spec, threads),
+            }
+        })
+        .collect();
+    SweepResult { dim, cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::TreeSpec;
+
+    #[test]
+    fn loss_sweep_locates_the_stall_on_a_small_path() {
+        // On the static path the frontier advances one hop per fault-free
+        // round and recedes under loss at the front; past ~50% loss the
+        // drift goes negative and the cell stalls within any budget.
+        let base = RunSpec::new(12, 1, TreeSpec::Path, FaultSpec::none())
+            .with_replicas(24)
+            .with_budget(220)
+            .with_seed(0x5EED);
+        let result = sweep(&base, SweepDim::LossPercent, &[0, 20, 90], 4);
+        assert_eq!(result.cells.len(), 3);
+        assert!(
+            !result.cells[0].estimate.stalled(),
+            "fault-free cell must complete: {:?}",
+            result.cells[0]
+        );
+        assert!(
+            result.cells[2].estimate.stalled(),
+            "90% loss must stall: {:?}",
+            result.cells[2]
+        );
+        assert_eq!(result.critical_value(), Some(90));
+    }
+
+    #[test]
+    fn fault_free_grid_point_is_deterministic() {
+        let base = RunSpec::new(10, 1, TreeSpec::Path, FaultSpec::none()).with_replicas(8);
+        let result = sweep(&base, SweepDim::LossPercent, &[0], 2);
+        let est = &result.cells[0].estimate;
+        assert_eq!(est.stats.completed(), 8);
+        assert_eq!(est.stats.min(), Some(9));
+        assert_eq!(est.stats.max(), Some(9), "no faults: every replica = n-1");
+        assert_eq!(result.critical_value(), None);
+    }
+
+    #[test]
+    fn dims_map_to_fault_specs() {
+        assert_eq!(SweepDim::LossPercent.fault_spec(30), FaultSpec::loss(30));
+        assert_eq!(
+            SweepDim::DropoutPercent.fault_spec(10),
+            FaultSpec::dropout(10, 2)
+        );
+        assert_eq!(
+            SweepDim::RotationPeriod.fault_spec(4),
+            FaultSpec::rotation(4)
+        );
+        assert_eq!(SweepDim::RotationPeriod.fault_spec(0), FaultSpec::none());
+    }
+}

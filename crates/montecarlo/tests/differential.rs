@@ -1,0 +1,213 @@
+//! Differential suite pinning the Monte Carlo layer against brute-force
+//! statistics and the workspace's proven facts:
+//!
+//! * fault-free estimation collapses to the deterministic runner
+//!   (`NoFaults` ≡ [`treecast_core::run_workload`], zero variance);
+//! * estimator output equals brute-force statistics over the same
+//!   replica outcomes;
+//! * dropout is monotone in expectation on the static path;
+//! * fault-free completion respects the `bounds::known_t_star` sandwich
+//!   at n ≤ 6;
+//! * the dense and frontier engines are interchangeable inside a
+//!   replica (round-for-round, per seed).
+
+use treecast_core::scenario::NoFaults;
+use treecast_core::{
+    bounds, run_workload_faulty, KSourceBroadcast, SimulationConfig, StaticSource,
+};
+use treecast_montecarlo::{estimate, run_replica, run_replica_on, FaultSpec, RunSpec, TreeSpec};
+use treecast_trees::generators;
+
+#[test]
+fn no_faults_collapses_to_the_deterministic_runner() {
+    // With no faults every replica replays the same deterministic run, so
+    // the estimate must mirror the single-run reference exactly — a
+    // completion at round t becomes R copies of t (zero variance), and a
+    // diverging cell (k ≥ 2 on a static tree: tokens below the fixed root
+    // can never climb, `bounds::tree_k_broadcast_diverges`) becomes R
+    // censored replicas, never a biased mean.
+    for (n, k) in [(6usize, 1usize), (16, 1), (9, 2), (12, 12)] {
+        let spec = RunSpec::new(n, k, TreeSpec::Path, FaultSpec::none()).with_replicas(8);
+        let mut source = StaticSource::new(generators::path(n));
+        let workload = KSourceBroadcast::evenly_spread(n, k);
+        let reference = run_workload_faulty(
+            n,
+            &mut source,
+            &workload,
+            &mut NoFaults,
+            SimulationConfig::for_n(n).with_max_rounds(spec.round_budget),
+        );
+
+        let est = estimate(&spec, 4);
+        match reference.completion_time {
+            Some(expected) => {
+                assert_eq!(est.stats.completed(), 8, "n={n} k={k}");
+                assert_eq!(est.stats.min(), Some(expected), "n={n} k={k}");
+                assert_eq!(est.stats.max(), Some(expected), "n={n} k={k}");
+                assert_eq!(est.stats.mean(), expected as f64, "n={n} k={k}");
+                assert_eq!(est.stats.std_dev(), 0.0, "fault-free => zero variance");
+                assert_eq!(est.stats.total_rounds(), 8 * expected);
+            }
+            None => {
+                assert!(
+                    treecast_core::bounds::tree_k_broadcast_diverges(k as u64),
+                    "only k >= 2 may diverge on the static path (n={n} k={k})"
+                );
+                assert_eq!(est.stats.censored(), 8, "n={n} k={k}: all replicas censor");
+                assert_eq!(est.stats.completed(), 0);
+                assert!(est.stalled());
+            }
+        }
+    }
+}
+
+#[test]
+fn estimator_matches_brute_force_statistics() {
+    let spec = RunSpec::new(20, 1, TreeSpec::SeededUniform, FaultSpec::loss(30))
+        .with_replicas(40)
+        .with_seed(0xD1FF);
+    let est = estimate(&spec, 4);
+
+    // Brute force: rerun every replica serially and aggregate by hand.
+    let outcomes: Vec<_> = (0..spec.replicas).map(|i| run_replica(&spec, i)).collect();
+    let completed: Vec<u64> = outcomes.iter().filter_map(|o| o.rounds).collect();
+    let censored = outcomes.len() - completed.len();
+
+    assert_eq!(est.stats.completed(), completed.len() as u64);
+    assert_eq!(est.stats.censored(), censored as u64);
+    assert_eq!(
+        est.stats.total_rounds(),
+        completed.iter().sum::<u64>(),
+        "exact integer cell"
+    );
+    assert_eq!(est.stats.min(), completed.iter().min().copied());
+    assert_eq!(est.stats.max(), completed.iter().max().copied());
+
+    let mean = completed.iter().sum::<u64>() as f64 / completed.len() as f64;
+    assert!((est.stats.mean() - mean).abs() < 1e-9);
+    let var = completed
+        .iter()
+        .map(|&r| (r as f64 - mean).powi(2))
+        .sum::<f64>()
+        / (completed.len() - 1) as f64;
+    assert!((est.stats.std_dev().powi(2) - var).abs() < 1e-6);
+
+    // The P² median stays inside the completed sample's range and close
+    // to the exact median (the sample is small but well-behaved).
+    let mut sorted = completed.clone();
+    sorted.sort_unstable();
+    let exact_p50 = sorted[(sorted.len() - 1) / 2] as f64;
+    let p50 = est.stats.p50().expect("completed replicas exist");
+    assert!(
+        (p50 - exact_p50).abs() <= (sorted[sorted.len() - 1] - sorted[0]) as f64 / 4.0 + 1.0,
+        "p50 {p50} far from exact {exact_p50} (sample {sorted:?})"
+    );
+}
+
+#[test]
+fn dropout_is_monotone_in_expectation_on_the_static_path() {
+    // More dropout can only delay dissemination on a static tree (the
+    // proven per-schedule monotonicity, here in expectation): the mean
+    // over a common replica budget must not decrease, and neither may
+    // the censored count.
+    let mut prev_score = f64::NEG_INFINITY;
+    for percent in [0u32, 15, 45] {
+        let faults = if percent == 0 {
+            FaultSpec::none()
+        } else {
+            FaultSpec::dropout(percent, 2)
+        };
+        let spec = RunSpec::new(14, 1, TreeSpec::Path, faults)
+            .with_replicas(32)
+            .with_budget(400)
+            .with_seed(0xD20);
+        let est = estimate(&spec, 4);
+        // Censored replicas sit at the budget, so score them there: a
+        // conservative (under-)estimate of the true expected rounds.
+        let score = (est.stats.total_rounds() + est.stats.censored() * spec.round_budget) as f64
+            / est.stats.replicas() as f64;
+        assert!(
+            score >= prev_score,
+            "dropout {percent}%: expected rounds regressed ({score} < {prev_score})"
+        );
+        prev_score = score;
+    }
+}
+
+#[test]
+fn fault_free_runs_respect_the_known_t_star_sandwich() {
+    // t*(n) is the solver's exact adversarial optimum for a broadcaster
+    // that starts at the root. The static path and star repeat one tree
+    // whose root is the source, so they are legal adversary strategies
+    // and their fault-free time is sandwiched in [1, t*(n)]. (Seeded
+    // uniform sequences re-root every round, so the source need not be
+    // the root and t* does not upper-bound them — checked the other way:
+    // they still take at least one round.)
+    for n in 2..=6usize {
+        let t_star = bounds::known_t_star(n as u64).expect("known for n <= 7");
+        for trees in [TreeSpec::Path, TreeSpec::Star] {
+            let spec = RunSpec::new(n, 1, trees, FaultSpec::none())
+                .with_replicas(6)
+                .with_seed(0x5A17);
+            let est = estimate(&spec, 2);
+            assert_eq!(est.stats.completed(), 6, "n={n} {trees:?}");
+            let min = est.stats.min().expect("completed");
+            let max = est.stats.max().expect("completed");
+            assert!(
+                min >= 1,
+                "n={n} {trees:?}: {min} rounds beats the trivial bound"
+            );
+            assert!(
+                max <= t_star,
+                "n={n} {trees:?}: {max} rounds exceeds t*({n}) = {t_star}"
+            );
+        }
+        let spec = RunSpec::new(n, 1, TreeSpec::SeededUniform, FaultSpec::none())
+            .with_replicas(6)
+            .with_seed(0x5A17);
+        let est = estimate(&spec, 2);
+        assert_eq!(est.stats.completed(), 6, "n={n} seeded-uniform");
+        assert!(est.stats.min().expect("completed") >= 1);
+    }
+}
+
+#[test]
+fn dense_and_frontier_engines_agree_replica_for_replica() {
+    // The engines are proven round-for-round identical under faults
+    // (tests/frontier_differential.rs); re-prove it through the Monte
+    // Carlo layer: same spec, same replica index, forced engines.
+    for (trees, faults) in [
+        (TreeSpec::Path, FaultSpec::loss(20)),
+        (TreeSpec::SeededUniform, FaultSpec::loss(35)),
+        (TreeSpec::SeededUniform, FaultSpec::dropout(20, 2)),
+        (TreeSpec::Star, FaultSpec::rotation(2)),
+    ] {
+        let spec = RunSpec::new(24, 3, trees, faults)
+            .with_replicas(10)
+            .with_seed(0xEB6E);
+        for index in 0..spec.replicas {
+            let dense = run_replica_on(&spec, index, false);
+            let frontier = run_replica_on(&spec, index, true);
+            assert_eq!(
+                dense, frontier,
+                "{trees:?} {faults:?} replica {index}: engines disagree"
+            );
+        }
+    }
+}
+
+#[test]
+fn loss_only_delays_the_diameter_bound() {
+    // Token loss can never beat the fault-free time: on the path the
+    // diameter is a hard floor for every completed replica.
+    let spec = RunSpec::new(12, 1, TreeSpec::Path, FaultSpec::loss(25))
+        .with_replicas(24)
+        .with_budget(600)
+        .with_seed(3);
+    let est = estimate(&spec, 4);
+    assert!(est.stats.completed() > 0, "25% loss still completes");
+    assert!(
+        est.stats.min().expect("completed") >= 11,
+        "no replica may beat the n-1 diameter"
+    );
+}

@@ -1,0 +1,182 @@
+//! Estimator unit suite: the P² streaming quantiles against exact
+//! sorted-sample quantiles on seeded inputs, confidence-interval
+//! coverage on a known distribution, and the censoring semantics of the
+//! aggregate (stalled replicas surface as a censored count, never as a
+//! biased mean).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use treecast_montecarlo::{wilson_interval, OnlineMoments, P2Quantile, RoundStats, Z_95};
+
+/// Exact nearest-rank quantile of a sample.
+fn exact_quantile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let rank = (p * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+#[test]
+fn p2_tracks_exact_quantiles_on_seeded_uniform_streams() {
+    for seed in [1u64, 2, 3] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..4000).map(|_| rng.gen_range(0.0..100.0)).collect();
+        for p in [0.5, 0.9, 0.99] {
+            let mut est = P2Quantile::new(p);
+            for &x in &xs {
+                est.push(x);
+            }
+            let mut sorted = xs.clone();
+            sorted.sort_by(f64::total_cmp);
+            let exact = exact_quantile(&sorted, p);
+            let got = est.estimate().expect("stream is non-empty");
+            // P² is approximate; on a smooth uniform stream of this
+            // length it lands within a few percent of the support.
+            assert!(
+                (got - exact).abs() < 3.0,
+                "seed {seed} p {p}: P² {got:.2} vs exact {exact:.2}"
+            );
+        }
+    }
+}
+
+#[test]
+fn p2_is_exact_for_tiny_samples() {
+    // Up to five observations the estimator holds the sample verbatim,
+    // so it must agree with the exact nearest-rank quantile exactly.
+    let samples = [17.0, 3.0, 29.0, 11.0, 23.0];
+    for k in 1..=samples.len() {
+        for p in [0.25, 0.5, 0.75, 0.9] {
+            let mut est = P2Quantile::new(p);
+            for &x in &samples[..k] {
+                est.push(x);
+            }
+            let mut sorted = samples[..k].to_vec();
+            sorted.sort_by(f64::total_cmp);
+            assert_eq!(
+                est.estimate(),
+                Some(exact_quantile(&sorted, p)),
+                "k = {k}, p = {p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn p2_handles_constant_and_monotone_streams() {
+    let mut constant = P2Quantile::new(0.9);
+    for _ in 0..100 {
+        constant.push(7.0);
+    }
+    assert_eq!(constant.estimate(), Some(7.0));
+
+    let mut ascending = P2Quantile::new(0.5);
+    for i in 0..1001 {
+        ascending.push(i as f64);
+    }
+    let got = ascending.estimate().expect("non-empty");
+    assert!((got - 500.0).abs() < 20.0, "median of 0..=1000: {got}");
+}
+
+#[test]
+fn moments_match_brute_force_on_seeded_input() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let xs: Vec<f64> = (0..500).map(|_| rng.gen_range(0.0..50.0)).collect();
+    let mut m = OnlineMoments::new();
+    for &x in &xs {
+        m.push(x);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    assert!((m.mean() - mean).abs() < 1e-9);
+    assert!((m.variance() - var).abs() < 1e-6);
+}
+
+#[test]
+fn normal_ci_covers_the_known_mean_at_roughly_95_percent() {
+    // Batches of uniform draws on [0, 10): true mean 5. Count how often
+    // the 95% normal interval covers it. The seeded stream makes the
+    // count a constant; the assertion brackets the nominal rate loosely
+    // enough to be robust to the t-vs-normal small-sample gap.
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let batches = 300;
+    let per_batch = 64;
+    let mut covered = 0;
+    for _ in 0..batches {
+        let mut m = OnlineMoments::new();
+        for _ in 0..per_batch {
+            m.push(rng.gen_range(0.0..10.0));
+        }
+        let half = m.ci_half_width(Z_95);
+        if (m.mean() - 5.0).abs() <= half {
+            covered += 1;
+        }
+    }
+    let rate = covered as f64 / batches as f64;
+    assert!(
+        (0.88..=0.99).contains(&rate),
+        "coverage {rate} out of the expected band around 0.95"
+    );
+}
+
+#[test]
+fn wilson_interval_covers_the_known_proportion() {
+    // 200 seeded binomial(32, 0.3) experiments; the Wilson interval
+    // should cover p = 0.3 at roughly its nominal rate.
+    let mut rng = StdRng::seed_from_u64(0xB10B);
+    let mut covered = 0;
+    let experiments = 200;
+    for _ in 0..experiments {
+        let successes = (0..32).filter(|_| rng.gen_range(0u32..10) < 3).count() as u64;
+        let (lo, hi) = wilson_interval(successes, 32, Z_95);
+        if lo <= 0.3 && 0.3 <= hi {
+            covered += 1;
+        }
+    }
+    let rate = covered as f64 / experiments as f64;
+    assert!((0.88..=1.0).contains(&rate), "coverage {rate}");
+}
+
+#[test]
+fn censored_replicas_never_enter_mean_or_quantiles() {
+    // Two aggregates over the same completed observations, one with a
+    // pile of censored replicas on top: the completed-side statistics
+    // must be identical, and only the censored count may differ.
+    let completed = [20u64, 22, 25, 30, 41, 41, 44, 52];
+    let mut clean = RoundStats::new();
+    let mut censored = RoundStats::new();
+    for &r in &completed {
+        clean.push_completed(r);
+        censored.push_completed(r);
+    }
+    for _ in 0..5 {
+        censored.push_censored();
+    }
+    assert_eq!(clean.mean(), censored.mean());
+    assert_eq!(clean.std_dev(), censored.std_dev());
+    assert_eq!(clean.p50(), censored.p50());
+    assert_eq!(clean.p90(), censored.p90());
+    assert_eq!(clean.p99(), censored.p99());
+    assert_eq!(clean.total_rounds(), censored.total_rounds());
+    assert_eq!(clean.censored(), 0);
+    assert_eq!(censored.censored(), 5);
+    assert_eq!(censored.replicas(), 13);
+    assert!((censored.stall_rate() - 5.0 / 13.0).abs() < 1e-12);
+}
+
+#[test]
+fn stall_interval_tightens_with_more_replicas() {
+    let mut few = RoundStats::new();
+    let mut many = RoundStats::new();
+    for _ in 0..4 {
+        few.push_completed(10);
+        few.push_censored();
+    }
+    for _ in 0..64 {
+        many.push_completed(10);
+        many.push_censored();
+    }
+    let (flo, fhi) = few.stall_interval();
+    let (mlo, mhi) = many.stall_interval();
+    assert!(mhi - mlo < fhi - flo, "more replicas, tighter interval");
+    assert!(mlo < 0.5 && 0.5 < mhi, "true rate stays covered");
+}

@@ -108,6 +108,7 @@ impl TreePool {
         for &(c, p) in self.edges(i) {
             parent[c as usize] = Some(p as usize);
         }
+        // analyze: allow(panic): pool entries were validated trees when they were interned
         RootedTree::from_parents(parent).expect("pool entries are valid trees")
     }
 
@@ -451,6 +452,7 @@ impl SuccessorGen {
                 }
             })
             .collect();
+        // analyze: allow(panic): the recovered parent vector mirrors an interned, validated tree
         RootedTree::from_parents(vec).expect("recovered parents form a tree")
     }
 }

@@ -164,14 +164,17 @@ fn solve(n_nodes: usize, root: usize, edges: &[Edge]) -> Result<Vec<usize>, Arbo
         let mut v = start;
         while v != root && comp[v] == UNSEEN && mark[v] != start {
             mark[v] = start;
+            // analyze: allow(panic): best[v] was set for every non-root node before the cycle walk
             v = edges[best[v].expect("checked above")].from;
         }
         if v != root && comp[v] == UNSEEN && mark[v] == start {
             // Fresh cycle through v.
             let mut cyc = vec![v];
+            // analyze: allow(panic): cycle nodes are non-root, so their best incoming edge exists
             let mut u = edges[best[v].expect("cycle node")].from;
             while u != v {
                 cyc.push(u);
+                // analyze: allow(panic): cycle nodes are non-root, so their best incoming edge exists
                 u = edges[best[u].expect("cycle node")].from;
             }
             let id = next_comp;
@@ -186,6 +189,7 @@ fn solve(n_nodes: usize, root: usize, edges: &[Edge]) -> Result<Vec<usize>, Arbo
         while u != root && comp[u] == UNSEEN {
             comp[u] = next_comp;
             next_comp += 1;
+            // analyze: allow(panic): the walk stays on non-root nodes, which all have a best edge
             u = edges[best[u].expect("non-root")].from;
         }
     }
@@ -198,6 +202,7 @@ fn solve(n_nodes: usize, root: usize, edges: &[Edge]) -> Result<Vec<usize>, Arbo
     if cycles.is_empty() {
         return Ok((0..n_nodes)
             .filter(|&v| v != root)
+            // analyze: allow(panic): the no-cycle branch: every non-root node kept its best edge
             .map(|v| best[v].expect("non-root"))
             .collect());
     }
@@ -219,6 +224,7 @@ fn solve(n_nodes: usize, root: usize, edges: &[Edge]) -> Result<Vec<usize>, Arbo
             continue;
         }
         let weight = if in_cycle[e.to] {
+            // analyze: allow(panic): in_cycle nodes are non-root, so their best incoming edge exists
             e.weight - edges[best[e.to].expect("cycle node")].weight
         } else {
             e.weight
@@ -244,6 +250,7 @@ fn solve(n_nodes: usize, root: usize, edges: &[Edge]) -> Result<Vec<usize>, Arbo
     for cyc in &cycles {
         for &v in cyc {
             if !entered[v] {
+                // analyze: allow(panic): cycle nodes are non-root, so their best incoming edge exists
                 selected.push(best[v].expect("cycle node"));
             }
         }

@@ -42,6 +42,7 @@ pub fn path_with_order(order: &[NodeId]) -> RootedTree {
     for w in order.windows(2) {
         parent[w[1]] = Some(w[0]);
     }
+    // analyze: allow(panic): chaining a permutation into a path is acyclic by construction
     RootedTree::from_parents(parent).expect("a node order defines a valid path")
 }
 
@@ -74,6 +75,7 @@ pub fn star_with_center(n: usize, center: NodeId) -> RootedTree {
     let parent = (0..n)
         .map(|v| if v == center { None } else { Some(center) })
         .collect();
+    // analyze: allow(panic): the star parent array has one root and no chains to cycle
     RootedTree::from_parents(parent).expect("star parent array is valid")
 }
 
@@ -108,6 +110,7 @@ pub fn broom(n: usize, handle_len: usize) -> RootedTree {
     for v in handle_len..n {
         parent[v] = Some(handle_len - 1);
     }
+    // analyze: allow(panic): the broom parent array is acyclic by construction
     RootedTree::from_parents(parent).expect("broom parent array is valid")
 }
 
@@ -141,6 +144,7 @@ pub fn double_broom(n: usize, head_leaves: usize, handle_len: usize) -> RootedTr
     for v in handle_start + handle_len..n {
         parent[v] = Some(handle_end);
     }
+    // analyze: allow(panic): the double-broom parent array is acyclic by construction
     RootedTree::from_parents(parent).expect("double broom parent array is valid")
 }
 
@@ -164,6 +168,7 @@ pub fn caterpillar(n: usize, spine_len: usize) -> RootedTree {
     for (i, v) in (spine_len..n).enumerate() {
         parent[v] = Some(i % spine_len);
     }
+    // analyze: allow(panic): the caterpillar parent array is acyclic by construction
     RootedTree::from_parents(parent).expect("caterpillar parent array is valid")
 }
 
@@ -177,6 +182,7 @@ pub fn caterpillar(n: usize, spine_len: usize) -> RootedTree {
 pub fn spider(n: usize, legs: usize) -> RootedTree {
     assert!(n > 0, "spider needs at least one node");
     if n == 1 {
+        // analyze: allow(panic): a single-node parent array is trivially a valid tree
         return RootedTree::from_parents(vec![None]).expect("single node");
     }
     assert!(
@@ -191,6 +197,7 @@ pub fn spider(n: usize, legs: usize) -> RootedTree {
         parent[v] = Some(prev[leg]);
         prev[leg] = v;
     }
+    // analyze: allow(panic): the spider parent array is acyclic by construction
     RootedTree::from_parents(parent).expect("spider parent array is valid")
 }
 
@@ -214,6 +221,7 @@ pub fn complete_kary(n: usize, k: usize) -> RootedTree {
     let parent = (0..n)
         .map(|v| if v == 0 { None } else { Some((v - 1) / k) })
         .collect();
+    // analyze: allow(panic): the heap parent array points strictly downward, so it is acyclic
     RootedTree::from_parents(parent).expect("heap parent array is valid")
 }
 
@@ -251,6 +259,7 @@ pub fn exact_leaf_caterpillar(n: usize, k: usize) -> RootedTree {
     for (i, v) in (spine + 1..n).enumerate() {
         parent[v] = Some(i % spine);
     }
+    // analyze: allow(panic): the exact-leaf caterpillar parent array is acyclic by construction
     RootedTree::from_parents(parent).expect("exact-leaf caterpillar is valid")
 }
 

@@ -100,6 +100,7 @@ pub fn encode(tree: &RootedTree) -> Vec<NodeId> {
             .children(v)
             .iter()
             .find(|&&c| !removed[c])
+            // analyze: allow(panic): Pruefer decode invariant: a live leaf's parent keeps a live child
             .expect("a live leaf has exactly one live neighbor")
     };
     let mut seq = Vec::with_capacity(n - 2);

@@ -32,12 +32,14 @@ use crate::tree::{NodeId, RootedTree};
 pub fn uniform<R: Rng + ?Sized>(n: usize, rng: &mut R) -> RootedTree {
     assert!(n > 0, "tree needs at least one node");
     if n == 1 {
+        // analyze: allow(panic): a single-node parent array is trivially a valid tree
         return RootedTree::from_parents(vec![None]).expect("single node");
     }
     let seq: Vec<NodeId> = (0..n.saturating_sub(2))
         .map(|_| rng.gen_range(0..n))
         .collect();
     let root = rng.gen_range(0..n);
+    // analyze: allow(panic): Pruefer decode is total on sequences drawn from 0..n
     pruefer::decode_rooted(&seq, root).expect("Prüfer decode always yields a tree")
 }
 
@@ -57,6 +59,7 @@ pub fn recursive<R: Rng + ?Sized>(n: usize, rng: &mut R) -> RootedTree {
         let p = order[rng.gen_range(0..i)];
         parent[order[i]] = Some(p);
     }
+    // analyze: allow(panic): attaching each node to an earlier one is acyclic by construction
     RootedTree::from_parents(parent).expect("recursive attachment is acyclic")
 }
 
@@ -122,6 +125,7 @@ pub fn with_exact_leaves<R: Rng + ?Sized>(n: usize, leaves: usize, rng: &mut R) 
 
     // Draw an inner skeleton whose own leaves we can all pin.
     let skeleton = if inner == 1 {
+        // analyze: allow(panic): a single-node parent array is trivially a valid tree
         RootedTree::from_parents(vec![None]).expect("single node")
     } else {
         let mut candidate = None;
@@ -149,6 +153,7 @@ pub fn with_exact_leaves<R: Rng + ?Sized>(n: usize, leaves: usize, rng: &mut R) 
     for v in next_leaf..n {
         parent[v] = Some(rng.gen_range(0..inner));
     }
+    // analyze: allow(panic): a validated skeleton plus fresh leaves stays acyclic
     let tree = RootedTree::from_parents(parent).expect("skeleton plus leaves is a tree");
     debug_assert_eq!(tree.leaf_count(), leaves);
     relabeled(&tree, rng)

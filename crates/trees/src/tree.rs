@@ -146,6 +146,7 @@ impl RootedTree {
                 if path.len() > n {
                     return Err(TreeError::Cyclic { node: v });
                 }
+                // analyze: allow(panic): the cycle walk only stands on non-root nodes, which have parents
                 cur = parent[cur].expect("only the root lacks a parent");
                 if cur == v {
                     return Err(TreeError::Cyclic { node: v });
@@ -505,6 +506,7 @@ impl RootedTree {
         for (v, &p) in self.parent.iter().enumerate() {
             parent[perm[v]] = p.map(|p| perm[p]);
         }
+        // analyze: allow(panic): relabeling by a permutation preserves tree-ness
         RootedTree::from_parents(parent).expect("relabeling preserves tree-ness")
     }
 
@@ -544,6 +546,7 @@ impl RootedTree {
             v = p;
         }
         parent[v] = prev;
+        // analyze: allow(panic): rerooting flips root-path edges only, preserving tree-ness
         RootedTree::from_parents(parent).expect("rerooting preserves tree-ness")
     }
 

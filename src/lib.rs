@@ -18,6 +18,7 @@
 //! | [`adversary`] | `treecast-adversary` | delaying strategies, candidate pools, beam search, tournaments |
 //! | [`solver`] | `treecast-solver` | exact `t*(T_n)` by state-space search |
 //! | [`nonsplit`] | `treecast-nonsplit` | nonsplit graphs, the CFN lemma, FNW dissemination |
+//! | [`montecarlo`] | `treecast-montecarlo` | seeded Monte Carlo estimation over the fault layer: replica pools, online statistics, phase-transition sweeps |
 //!
 //! # Quickstart
 //!
@@ -43,6 +44,7 @@
 pub use treecast_adversary as adversary;
 pub use treecast_bitmatrix as bitmatrix;
 pub use treecast_core as core;
+pub use treecast_montecarlo as montecarlo;
 pub use treecast_nonsplit as nonsplit;
 pub use treecast_solver as solver;
 pub use treecast_trees as trees;
