@@ -5,11 +5,11 @@
 #
 #   quick    fmt check, release build, tests, bench smoke, frontier
 #            smoke (n = 10^4), server smoke (n = 64), montecarlo smoke
-#            (n = 64), static analysis (L1-L6 + allowlist + baseline
-#            gate), docs (skips the bench regression gates and the
-#            --ignored tier)
+#            (n = 64), emulation smoke (n = 64), static analysis (L1-L6
+#            + allowlist + baseline gate), docs (skips the bench
+#            regression gates and the --ignored tier)
 #   full     quick + the compose/solver/workloads/adversary/frontier/
-#            server/montecarlo bench gates, the release-mode
+#            server/montecarlo/emulation bench gates, the release-mode
 #            differential/scenario proptests, and the concurrency-
 #            determinism audit (debug build, threads 1/2/4/8) (default)
 #   release  full + the slow --ignored solver tier, the beam width
@@ -97,6 +97,13 @@ run_step "server smoke (n = 64, release)" \
 # full-grid comparison is in the full tier below.
 run_step "montecarlo smoke (n = 64, release)" \
     cargo run --release -p treecast-bench --bin bench_montecarlo -- --smoke
+# Emulation smoke: three paired emulated-vs-synchronous cells (quiet
+# path unconstrained, bandwidth-1 star, seeded gossip under the fault
+# cocktail) — proves the gossip protocol layer, the knob caps, and the
+# model-pinning ratio end to end. The exact full-grid comparison is in
+# the full tier below.
+run_step "emulation smoke (n = 64, release)" \
+    cargo run --release -p treecast-bench --bin bench_emulation -- --smoke
 # Static analysis: the six workspace rules (layering DAG, panic policy,
 # unsafe hygiene, bench-gate coverage, feature hygiene, doc coverage)
 # with the checked-in allowlist, gated against the per-rule baseline so
@@ -130,6 +137,9 @@ if [[ "$TIER" != quick ]]; then
     run_step "montecarlo bench gate (exact estimator cells + grid wall)" \
         cargo run --release -p treecast-bench --bin bench_montecarlo -- \
         --check results/BENCH_montecarlo_baseline.json
+    run_step "emulation bench gate (exact paired cells + grid wall)" \
+        cargo run --release -p treecast-bench --bin bench_emulation -- \
+        --check results/BENCH_emulation_baseline.json
     # The beam/greedy/exact differential harness, the fault-layer
     # scenario properties, and the sparse-vs-dense frontier differential
     # suite, in release mode (they also run in the debug tier-1 pass;
@@ -142,9 +152,9 @@ if [[ "$TIER" != quick ]]; then
     # workload, faults included (also in the debug tier-1 pass).
     run_step "server differential tests (release)" \
         cargo test -q --release -p treecast --test server_differential
-    # Concurrency-determinism audit: the four threaded subsystems
+    # Concurrency-determinism audit: the five threaded subsystems
     # (sharded compose, solver discovery, server worker pool, Monte
-    # Carlo replica pool) across
+    # Carlo replica pool, gossip-emulation replica pool) across
     # {1,2,4,8} threads must be bit-identical, with the debug_validate
     # invariant checkers live — hence a DEBUG build, not --release.
     # Combined with --rules all so the checked-in results/ANALYZE.json

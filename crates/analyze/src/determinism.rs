@@ -1,6 +1,6 @@
 //! The concurrency-determinism audit (`analyze --determinism`).
 //!
-//! The workspace has four threaded subsystems, and all four promise
+//! The workspace has five threaded subsystems, and all five promise
 //! *bit-identical* outputs regardless of thread count:
 //!
 //! * the row-sharded boolean composition kernel
@@ -10,7 +10,10 @@
 //! * the server's worker pool
 //!   ([`treecast_server::Server::serve_batch`]),
 //! * the Monte Carlo replica pool
-//!   ([`treecast_montecarlo::estimate`]).
+//!   ([`treecast_montecarlo::estimate`]),
+//! * the gossip-emulation replica pool
+//!   ([`treecast_montecarlo::estimate_from`] over
+//!   [`treecast_emulation::EmulationSpec`] cells).
 //!
 //! Each audit runs its subsystem across thread counts {1, 2, 4, 8} on
 //! seeded inputs and compares every output against the single-threaded
@@ -28,7 +31,10 @@
 
 use treecast_bitmatrix::BoolMatrix;
 use treecast_core::{FrontierSource, FrontierState, RoundFaults};
-use treecast_montecarlo::{estimate, FaultSpec, MonteCarloEstimate, RunSpec, TreeSpec};
+use treecast_emulation::{EmulationSpec, GossipKnobs};
+use treecast_montecarlo::{
+    estimate, estimate_from, FaultSpec, MonteCarloEstimate, RunSpec, TreeSpec,
+};
 use treecast_server::{
     CacheConfig, ObjectiveSpec, PoolSpec, Request, Response, Schedule, Server, ServerConfig,
     WorkloadSpec,
@@ -45,7 +51,7 @@ pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 #[derive(Debug, Clone)]
 pub struct SubsystemAudit {
     /// Subsystem name (`compose`, `solver`, `server`, `montecarlo`,
-    /// `frontier-invariants`).
+    /// `emulation`, `frontier-invariants`).
     pub name: &'static str,
     /// Thread counts exercised.
     pub threads: Vec<usize>,
@@ -74,7 +80,7 @@ pub struct DeterminismReport {
 }
 
 impl DeterminismReport {
-    /// Runs all five audits. Deterministic by construction — every input
+    /// Runs all six audits. Deterministic by construction — every input
     /// is seeded.
     #[must_use]
     pub fn run() -> Self {
@@ -84,6 +90,7 @@ impl DeterminismReport {
                 audit_solver(),
                 audit_server(),
                 audit_montecarlo(),
+                audit_emulation(),
                 audit_frontier_invariants(),
             ],
         }
@@ -472,6 +479,90 @@ fn audit_montecarlo() -> SubsystemAudit {
     }
 }
 
+/// Drives the gossip-emulation replica pool — the workspace's fifth
+/// threaded subsystem — across the audited thread counts: the generic
+/// [`estimate_from`] pool over [`EmulationSpec`] cells, one per
+/// protocol regime (unconstrained quiet, bandwidth-capped under a
+/// fault cocktail, fan-out/batch-capped on seeded trees), compared
+/// against the single-threaded reference with `==`. The unconstrained
+/// quiet cell doubles as a cross-subsystem pin: its fingerprint folds
+/// an estimate that must equal the synchronous model's.
+fn audit_emulation() -> SubsystemAudit {
+    let free = GossipKnobs::unconstrained();
+    let specs = [
+        EmulationSpec::new(48, 1, TreeSpec::Path, FaultSpec::none(), free)
+            .with_replicas(24)
+            .with_seed(31),
+        EmulationSpec::new(
+            32,
+            2,
+            TreeSpec::Star,
+            FaultSpec::loss(20),
+            free.with_bandwidth(2),
+        )
+        .with_replicas(24)
+        .with_budget(256)
+        .with_seed(32),
+        EmulationSpec::new(
+            40,
+            4,
+            TreeSpec::SeededUniform,
+            FaultSpec::dropout(10, 2),
+            free.with_fanout(2).with_batch(3),
+        )
+        .with_replicas(24)
+        .with_budget(192)
+        .with_seed(33),
+    ];
+    let mut mismatches = Vec::new();
+    let mut fingerprint = 0u64;
+    let mut cases = 0;
+    for spec in &specs {
+        let reference = estimate_from(spec, 1);
+        fingerprint = estimate_fingerprint(fingerprint, &reference);
+        for &threads in &THREAD_COUNTS[1..] {
+            let r = estimate_from(spec, threads);
+            cases += 1;
+            if r != reference {
+                mismatches.push(format!(
+                    "emulation n={} k={} {} knobs={} threads={threads}: estimate \
+                     differs from the serial reference",
+                    spec.n,
+                    spec.k,
+                    spec.faults.label(),
+                    spec.knobs.label()
+                ));
+            }
+        }
+    }
+    // The cross-subsystem pin: the unconstrained quiet cell must equal
+    // its synchronous twin estimate-for-estimate (shared seed, shared
+    // streams, pinned protocol).
+    let emulated = estimate_from(&specs[0], 2);
+    let model = estimate(
+        &RunSpec::new(48, 1, TreeSpec::Path, FaultSpec::none())
+            .with_replicas(24)
+            .with_budget(specs[0].round_budget)
+            .with_seed(31),
+        2,
+    );
+    cases += 1;
+    if emulated.stats != model.stats {
+        mismatches.push(
+            "emulation unconstrained quiet cell: statistics differ from the \
+             synchronous model twin"
+                .into(),
+        );
+    }
+    SubsystemAudit {
+        name: "emulation",
+        threads: THREAD_COUNTS.to_vec(),
+        cases,
+        fingerprint,
+        mismatches,
+    }
+}
+
 /// Replays the frontier engine on seeded dynamic trees, validating the
 /// state's structural invariants every round and checking that a second
 /// replay reproduces the first bit-for-bit.
@@ -569,6 +660,14 @@ mod tests {
     #[test]
     fn montecarlo_audit_passes() {
         let audit = audit_montecarlo();
+        assert!(audit.passed(), "{:?}", audit.mismatches);
+        assert!(audit.cases > 0);
+        assert_ne!(audit.fingerprint, 0, "fingerprint must bind the outputs");
+    }
+
+    #[test]
+    fn emulation_audit_passes() {
+        let audit = audit_emulation();
         assert!(audit.passed(), "{:?}", audit.mismatches);
         assert!(audit.cases > 0);
         assert_ne!(audit.fingerprint, 0, "fingerprint must bind the outputs");

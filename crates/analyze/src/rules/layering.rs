@@ -3,8 +3,8 @@
 //! The workspace architecture is a strict DAG:
 //!
 //! ```text
-//! bitmatrix → trees → core → {adversary, solver, nonsplit, montecarlo}
-//!                              → {server, client} → bench
+//! bitmatrix → trees → core → {adversary, solver, nonsplit, montecarlo,
+//!                              emulation} → {server, client} → bench
 //! ```
 //!
 //! [`DAG`] records each crate's *direct* upstream edges; a crate may
@@ -36,6 +36,7 @@ pub const DAG: &[(&str, &[&str])] = &[
     ("treecast-solver", &["treecast-core"]),
     ("treecast-nonsplit", &["treecast-core"]),
     ("treecast-montecarlo", &["treecast-core"]),
+    ("treecast-emulation", &["treecast-core", "treecast-trees"]),
     ("treecast-server", &["treecast-adversary", "treecast-core"]),
     ("treecast-client", &["treecast-server", "treecast-core"]),
     (
@@ -43,6 +44,7 @@ pub const DAG: &[(&str, &[&str])] = &[
         &[
             "treecast-adversary",
             "treecast-client",
+            "treecast-emulation",
             "treecast-montecarlo",
             "treecast-nonsplit",
             "treecast-server",
@@ -51,13 +53,19 @@ pub const DAG: &[(&str, &[&str])] = &[
     ),
     (
         "treecast-analyze",
-        &["treecast-montecarlo", "treecast-server", "treecast-solver"],
+        &[
+            "treecast-emulation",
+            "treecast-montecarlo",
+            "treecast-server",
+            "treecast-solver",
+        ],
     ),
     (
         "treecast",
         &[
             "treecast-adversary",
             "treecast-client",
+            "treecast-emulation",
             "treecast-montecarlo",
             "treecast-nonsplit",
             "treecast-server",

@@ -1,0 +1,103 @@
+//! Emulation measurement harness: runs the paired emulated-vs-model
+//! gate rows ({broadcast, gossip, k-source} × {quiet, seeded cocktail}
+//! × a knob ladder at n = 64) and emits `results/BENCH_emulation.json`
+//! with each row's exact integer statistics for *both* sides, the
+//! completion ratio, and wall times.
+//!
+//! ```text
+//! cargo run --release -p treecast-bench --bin bench_emulation -- --smoke # quick tier
+//! cargo run --release -p treecast-bench --bin bench_emulation            # full grid
+//! cargo run --release -p treecast-bench --bin bench_emulation -- \
+//!     --check results/BENCH_emulation_baseline.json   # CI gate
+//! ```
+//!
+//! With `--check <baseline>` the run exits nonzero if (a) any row's
+//! emulated or model `completed` / `censored` / `total_rounds` differs
+//! from the baseline — both sides are seeded replica pools, so this is
+//! a correctness gate that is never skipped, and it pins the
+//! unconstrained rows' emulated = model equality — or (b) the emulated
+//! grid's wall time per executed replica round is more than 25% slower
+//! (skippable via `TREECAST_BENCH_GATE=off`). The baseline records the
+//! full grid, so `--check` implies the full grid; `--smoke` is for the
+//! quick tier and skips the comparison.
+
+use treecast_bench::emulationbench::{
+    grid_ns_per_round, measure_gate_rows, parse_cells, parse_grid_ns_per_round, render_report,
+    PairedMeasurement, GATE_N, GATE_REPLICAS,
+};
+use treecast_bench::gate::{check_arg, enforce_exact, enforce_wall};
+
+fn print_rows(rows: &[PairedMeasurement]) {
+    for r in rows {
+        let ratio = if r.ratio > 0.0 {
+            format!("{:.3}", r.ratio)
+        } else {
+            "stalled".into()
+        };
+        println!(
+            "  {:<26} {:<34} {:<16} done={:<3} cens={:<3} emu_rounds={:<7} model_rounds={:<7} ratio={:<8} wall={:>8.1} ms",
+            r.workload,
+            r.source,
+            r.faults,
+            r.emu_completed,
+            r.emu_censored,
+            r.emu_total_rounds,
+            r.model_total_rounds,
+            ratio,
+            r.emu_wall_ms,
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_baseline = check_arg(&args);
+    let smoke = args.iter().any(|a| a == "--smoke") && check_baseline.is_none();
+
+    println!(
+        "emulation {} rows (n = {GATE_N}, {GATE_REPLICAS} emulated + {GATE_REPLICAS} model replicas each)...",
+        if smoke { "smoke" } else { "gate" }
+    );
+    let rows = measure_gate_rows(smoke);
+    print_rows(&rows);
+    println!(
+        "  emulated grid wall: {:.0} ns per executed replica round",
+        grid_ns_per_round(&rows)
+    );
+
+    let report = render_report(&rows);
+    let out_path = std::path::Path::new("results/BENCH_emulation.json");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(out_path, &report).expect("write BENCH_emulation.json");
+    println!("wrote {}", out_path.display());
+
+    let Some(baseline_path) = check_baseline else {
+        return;
+    };
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+
+    // Half 1: exact integer statistics of every row, both sides, never
+    // skipped.
+    let current = parse_cells(&report);
+    enforce_exact(
+        &current,
+        &parse_cells(&baseline),
+        &format!(
+            "gate ok: all {} emulation estimator cells match the baseline exactly",
+            current.len()
+        ),
+    );
+
+    // Half 2: emulated wall per executed replica round over the whole
+    // grid, +25%, skippable.
+    let base_ns = parse_grid_ns_per_round(&baseline)
+        .unwrap_or_else(|| panic!("baseline {baseline_path} has no grid_ns_per_round"));
+    let now_ns = parse_grid_ns_per_round(&report).expect("the grid was just measured");
+    enforce_wall(
+        &format!("emulation grid n={GATE_N}"),
+        now_ns,
+        base_ns,
+        |ns| format!("{ns:.0} ns/replica-round"),
+    );
+}

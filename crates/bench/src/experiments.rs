@@ -1114,6 +1114,262 @@ pub fn serving(quick: bool) -> ExperimentOutput {
     out
 }
 
+/// E15 (emulation): the asynchronous gossip protocol against its
+/// synchronous model — paired emulated-vs-model completion ratios
+/// across the three workload families × fault mixes × protocol-knob
+/// ladder, plus knob sweeps with the Monte Carlo layer's critical-value
+/// readout.
+///
+/// Every ratio row is a *paired* comparison: the emulated cell and its
+/// model twin share the base seed, so replica `r` of both sides runs
+/// the identical tree and fault streams and the ratio isolates what the
+/// protocol's resource limits (bandwidth, fan-out, batching) cost on
+/// top of the adversary. Unconstrained rows pin the ratio at exactly 1
+/// — the experiment-level face of the emulation crate's
+/// round-for-round differential contract.
+pub fn emulation(quick: bool) -> ExperimentOutput {
+    if quick {
+        emulation_on(32, 12, &[8, 2, 1], &[0, 60, 100, 200])
+    } else {
+        emulation_on(64, 24, &[16, 8, 4, 2, 1], &[0, 20, 60, 100, 140, 200])
+    }
+}
+
+/// [`emulation`] over explicit grids (exposed for cheap testing):
+/// network size `n`, replicas per cell side, the descending bandwidth
+/// sweep grid, and the ascending per-mille loss grid.
+pub fn emulation_on(
+    n: usize,
+    replicas: usize,
+    bandwidth_grid: &[u64],
+    loss_grid: &[u64],
+) -> ExperimentOutput {
+    use treecast_emulation::{EmuSweepDim, EmulationSpec, GossipKnobs};
+    use treecast_montecarlo::{
+        estimate, estimate_from, sweep, sweep_cells, FaultSpec, MonteCarloEstimate, RunSpec,
+        SweepDim, SweepResult, TreeSpec,
+    };
+
+    /// Worker threads; the statistics are bit-identical for any count.
+    const THREADS: usize = 4;
+
+    let mut out = ExperimentOutput::new("emulation", "E15 gossip emulation vs synchronous model");
+
+    // The seeded fault cocktail of the faulty rows: loss + dropout both
+    // below the critical rates at this n, so cells complete and ratios
+    // stay well-defined.
+    let cocktail = FaultSpec {
+        loss_permille: 40,
+        dropout_permille: 30,
+        dropout_rounds: 2,
+        ..FaultSpec::default()
+    };
+
+    // ---- Half 1: the paired ratio grid. ----
+    let mut ratio = Table::new([
+        "workload",
+        "trees",
+        "faults",
+        "knobs",
+        "n",
+        "replicas",
+        "budget",
+        "emu done",
+        "emu cens",
+        "emu mean",
+        "model mean",
+        "ratio",
+    ]);
+    let free = GossipKnobs::unconstrained();
+    let families: &[(usize, TreeSpec)] = &[
+        (1, TreeSpec::Path),
+        (1, TreeSpec::Star),
+        (n, TreeSpec::SeededUniform),
+        (4, TreeSpec::SeededUniform),
+    ];
+    for &(k, trees) in families {
+        for faults in [FaultSpec::none(), cocktail] {
+            for knobs in [free, free.with_bandwidth(4), free.with_bandwidth(1)] {
+                let emu_spec =
+                    EmulationSpec::new(n, k, trees, faults, knobs).with_replicas(replicas);
+                let model_spec = RunSpec::new(n, k, trees, faults)
+                    .with_replicas(replicas)
+                    .with_budget(emu_spec.round_budget);
+                let emu = estimate_from(&emu_spec, THREADS);
+                let model = estimate(&model_spec, THREADS);
+                let mean =
+                    |e: &MonteCarloEstimate| (e.stats.completed() > 0).then(|| e.stats.mean());
+                let (em, mm) = (mean(&emu), mean(&model));
+                let fmt = |v: Option<f64>| v.map(|v| format!("{v:.1}")).unwrap_or_default();
+                ratio.push([
+                    emu.workload.clone(),
+                    trees.label().to_string(),
+                    emu.faults.clone(),
+                    knobs.label(),
+                    n.to_string(),
+                    replicas.to_string(),
+                    emu.round_budget.to_string(),
+                    emu.stats.completed().to_string(),
+                    emu.stats.censored().to_string(),
+                    fmt(em),
+                    fmt(mm),
+                    match (em, mm) {
+                        (Some(e), Some(m)) if m > 0.0 => format!("{:.3}", e / m),
+                        _ => "stalled".into(),
+                    },
+                ]);
+            }
+        }
+    }
+    out.tables.push(("emulation_ratio".into(), ratio));
+
+    // ---- Half 2: knob sweeps through the Monte Carlo layer's generic
+    // grid, with the same critical-value readout as E14. ----
+    let mut sweeps = Table::new([
+        "dim",
+        "workload",
+        "trees",
+        "faults",
+        "value",
+        "replicas",
+        "budget",
+        "completed",
+        "censored",
+        "mean",
+        "stall %",
+    ]);
+    let mut crit = Table::new(["dim", "workload", "trees", "critical"]);
+    let push_sweep = |sweeps: &mut Table, crit: &mut Table, result: &SweepResult| {
+        for cell in &result.cells {
+            let est = &cell.estimate;
+            let s = &est.stats;
+            sweeps.push([
+                result.dim.clone(),
+                est.workload.clone(),
+                est.source.clone(),
+                est.faults.clone(),
+                cell.value.to_string(),
+                s.replicas().to_string(),
+                est.round_budget.to_string(),
+                s.completed().to_string(),
+                s.censored().to_string(),
+                if s.completed() > 0 {
+                    format!("{:.1}", s.mean())
+                } else {
+                    String::new()
+                },
+                format!("{:.0}", 100.0 * s.stall_rate()),
+            ]);
+        }
+        if let Some(first) = result.cells.first() {
+            let est = &first.estimate;
+            crit.push([
+                result.dim.clone(),
+                est.workload.clone(),
+                est.source.clone(),
+                result
+                    .critical_value()
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| format!(">{}", result.cells.last().map_or(0, |c| c.value))),
+            ]);
+        }
+    };
+
+    // Bandwidth knee: full-gossip on seeded uniform trees under a tight
+    // budget — each peer must receive n − 1 foreign tokens through a
+    // cap of b per parent per round, so small caps censor. Swept
+    // descending (hostility grows as the cap shrinks) so the critical
+    // value reads like E14's loss sweeps.
+    let gossip_budget = (2 * n as u64).min(48.max(n as u64 / 2));
+    let bandwidth_base = EmulationSpec::new(n, n, TreeSpec::SeededUniform, FaultSpec::none(), free)
+        .with_replicas(replicas)
+        .with_budget(gossip_budget);
+    push_sweep(
+        &mut sweeps,
+        &mut crit,
+        &sweep_cells(
+            EmuSweepDim::BandwidthCap.label(),
+            bandwidth_grid,
+            |v| EmuSweepDim::BandwidthCap.cell(&bandwidth_base, v),
+            THREADS,
+        ),
+    );
+
+    // Advert fan-out knee on the star: the capped center's advert
+    // window covers f leaves and advances one leaf per round, so quiet
+    // broadcast takes (n − 1) − f + 1 rounds and an n/2-round budget
+    // censors every f below n/2 + 1. Swept descending like the
+    // bandwidth knee (grid value 0 would mean *unconstrained*, not zero
+    // fan-out, so it has no place on a hostility ladder).
+    let fanout_base = EmulationSpec::new(n, 1, TreeSpec::Star, FaultSpec::none(), free)
+        .with_replicas(replicas)
+        .with_budget((n as u64) / 2);
+    let fanout_grid: Vec<u64> = [3 * n / 4, n / 2, n / 4, n / 8]
+        .iter()
+        .map(|&f| f as u64)
+        .collect();
+    push_sweep(
+        &mut sweeps,
+        &mut crit,
+        &sweep_cells(
+            EmuSweepDim::AdvertFanout.label(),
+            &fanout_grid,
+            |v| EmuSweepDim::AdvertFanout.cell(&fanout_base, v),
+            THREADS,
+        ),
+    );
+
+    // Per-mille loss on the unconstrained emulated path, next to the
+    // synchronous model's identical sweep: paired seeds + the pinning
+    // contract make the two sweeps' integer statistics identical, so
+    // the located critical rate is shared — the emulated face of E14's
+    // per-mille transition.
+    let loss_base =
+        EmulationSpec::new(n, 1, TreeSpec::Path, FaultSpec::none(), free).with_replicas(replicas);
+    push_sweep(
+        &mut sweeps,
+        &mut crit,
+        &sweep_cells(
+            EmuSweepDim::LossPermille.label(),
+            loss_grid,
+            |v| EmuSweepDim::LossPermille.cell(&loss_base, v),
+            THREADS,
+        ),
+    );
+    let model_loss_base = RunSpec::new(n, 1, TreeSpec::Path, FaultSpec::none())
+        .with_replicas(replicas)
+        .with_budget(loss_base.round_budget);
+    push_sweep(
+        &mut sweeps,
+        &mut crit,
+        &sweep(&model_loss_base, SweepDim::LossPermille, loss_grid, THREADS),
+    );
+
+    out.tables.push(("emulation_sweep".into(), sweeps));
+    out.tables.push(("emulation_critical".into(), crit));
+    out.notes.push(
+        "Every ratio row is a paired comparison: emulated and model cells share the base seed, \
+         so replica r of both sides sees identical tree and fault streams. Unconstrained rows \
+         have ratio exactly 1.000 — the crate's round-for-round pinning contract, gated \
+         bit-exactly by `bench_emulation --check`."
+            .into(),
+    );
+    out.notes.push(
+        "The emulated and model `loss ‰` sweeps report identical integer statistics and the \
+         same critical rate: with no knob constraining the protocol, asynchrony adds nothing \
+         on top of the adversary, at any fault rate."
+            .into(),
+    );
+    out.notes.push(
+        "A quiet path hides the knobs (each edge's per-round deficit is one token); the star \
+         and the fault cocktail are what make bandwidth caps bind. The bandwidth knee is swept \
+         descending so `critical` reads as the largest cap that stalls the tight-budget gossip \
+         cell."
+            .into(),
+    );
+    out
+}
+
 /// E14 (montecarlo): the phase-transition table of the fault layer —
 /// seeded Monte Carlo sweeps over the per-node token-loss rate locating
 /// the critical probability where each (workload, n) cell crosses from
@@ -1126,9 +1382,15 @@ pub fn serving(quick: bool) -> ExperimentOutput {
 pub fn montecarlo(quick: bool) -> ExperimentOutput {
     // Loss grids shrink with n: completion needs the whole network
     // simultaneously wipe-free, so the critical per-node rate scales
-    // roughly like 1/n.
+    // roughly like 1/n. The percent grid can only floor the n ≥ 1024
+    // transitions at 1%; the per-mille grids resolve where they
+    // actually sit.
     if quick {
-        montecarlo_on(&[(64, &[0, 6, 10, 14], 24)], false)
+        montecarlo_on(
+            &[(64, &[0, 6, 10, 14], 24)],
+            &[(64, &[0, 60, 100, 140], 24)],
+            false,
+        )
     } else {
         montecarlo_on(
             &[
@@ -1136,15 +1398,22 @@ pub fn montecarlo(quick: bool) -> ExperimentOutput {
                 (1024, &[0, 1, 2, 4], 12),
                 (4096, &[0, 1, 2], 8),
             ],
+            &[(1024, &[0, 2, 4, 6, 8, 10], 12), (4096, &[0, 1, 2, 3], 8)],
             true,
         )
     }
 }
 
-/// [`montecarlo`] over an explicit `(n, loss grid, replicas)` list
-/// (exposed for cheap testing); `frontier_row` appends the n = 10⁶
+/// [`montecarlo`] over explicit `(n, loss grid, replicas)` lists
+/// (exposed for cheap testing): `grid` sweeps percent, `permille_grid`
+/// sweeps per-mille (the sub-percent resolution the n ≥ 1024
+/// transitions need); `frontier_row` appends the n = 10⁶
 /// frontier-engine rows.
-pub fn montecarlo_on(grid: &[(usize, &[u64], usize)], frontier_row: bool) -> ExperimentOutput {
+pub fn montecarlo_on(
+    grid: &[(usize, &[u64], usize)],
+    permille_grid: &[(usize, &[u64], usize)],
+    frontier_row: bool,
+) -> ExperimentOutput {
     use treecast_montecarlo::{sweep, FaultSpec, RunSpec, SweepDim, SweepResult, TreeSpec};
 
     /// Worker threads; the statistics are bit-identical for any count.
@@ -1155,7 +1424,8 @@ pub fn montecarlo_on(grid: &[(usize, &[u64], usize)], frontier_row: bool) -> Exp
         "n",
         "k",
         "source",
-        "loss %",
+        "dim",
+        "value",
         "replicas",
         "budget",
         "completed",
@@ -1167,7 +1437,7 @@ pub fn montecarlo_on(grid: &[(usize, &[u64], usize)], frontier_row: bool) -> Exp
         "stall %",
         "stall CI",
     ]);
-    let mut crit = Table::new(["n", "k", "source", "critical loss %"]);
+    let mut crit = Table::new(["n", "k", "source", "dim", "critical"]);
 
     let push_sweep = |t: &mut Table, crit: &mut Table, result: &SweepResult| {
         for cell in &result.cells {
@@ -1179,6 +1449,7 @@ pub fn montecarlo_on(grid: &[(usize, &[u64], usize)], frontier_row: bool) -> Exp
                 est.n.to_string(),
                 est.k.to_string(),
                 est.source.clone(),
+                result.dim.clone(),
                 cell.value.to_string(),
                 s.replicas().to_string(),
                 est.round_budget.to_string(),
@@ -1206,6 +1477,7 @@ pub fn montecarlo_on(grid: &[(usize, &[u64], usize)], frontier_row: bool) -> Exp
                 est.n.to_string(),
                 est.k.to_string(),
                 est.source.clone(),
+                result.dim.clone(),
                 result
                     .critical_value()
                     .map(|v| v.to_string())
@@ -1242,11 +1514,41 @@ pub fn montecarlo_on(grid: &[(usize, &[u64], usize)], frontier_row: bool) -> Exp
         }
     }
 
+    // The per-mille sweeps: sub-percent resolution for the transitions
+    // the percent grid floors at 1%. `k ∈ {1, 2}` covers both engine
+    // regimes; the k = n/2 seeded cells complete in the same round as
+    // k = 2 under shared fault streams (see the notes), so re-sweeping
+    // them buys nothing.
+    for &(n, losses, replicas) in permille_grid {
+        for k in [1usize, 2] {
+            let trees = if k == 1 {
+                TreeSpec::Path
+            } else {
+                TreeSpec::SeededUniform
+            };
+            let budget = match trees {
+                TreeSpec::Path | TreeSpec::Star => {
+                    treecast_montecarlo::default_budget(n, trees).min(8192)
+                }
+                TreeSpec::SeededUniform => 192,
+            };
+            let base = RunSpec::new(n, k, trees, FaultSpec::none())
+                .with_replicas(replicas)
+                .with_budget(budget);
+            push_sweep(
+                &mut t,
+                &mut crit,
+                &sweep(&base, SweepDim::LossPermille, losses, THREADS),
+            );
+        }
+    }
+
     if frontier_row {
         // The n = 10⁶ frontier-engine row: at this size the critical
-        // per-node loss rate has shrunk below 1% — the smallest nonzero
-        // rate the percent-grained fault model can express — so the
-        // transition is bracketed by the {0, 1} grid.
+        // per-node loss rate has shrunk below even 1‰, so the cheap
+        // percent-grained {0, 1} grid already brackets the transition;
+        // the per-mille grids above chart the n ∈ {1024, 4096} range
+        // where the extra resolution actually separates cells.
         let base = RunSpec::new(1_000_000, 16, TreeSpec::SeededUniform, FaultSpec::none())
             .with_replicas(4)
             .with_budget(128);
@@ -1279,6 +1581,13 @@ pub fn montecarlo_on(grid: &[(usize, &[u64], usize)], frontier_row: bool) -> Exp
          round."
             .into(),
     );
+    out.notes.push(
+        "Whole-percent rates are exact per-mille multiples of ten (`loss(p)` ≡ \
+         `loss_permille(10p)`, bit-identical fault streams), so the `loss %` and `loss ‰` \
+         sweeps share a scale: a critical 10‰ is the percent grid's 1% floor, and any smaller \
+         per-mille critical strictly resolves below it."
+            .into(),
+    );
     out
 }
 
@@ -1300,6 +1609,7 @@ pub fn all(quick: bool) -> Vec<ExperimentOutput> {
         scale(quick),
         serving(quick),
         montecarlo(quick),
+        emulation(quick),
     ]
 }
 
@@ -1320,6 +1630,7 @@ pub const IDS: &[&str] = &[
     "scale",
     "serving",
     "montecarlo",
+    "emulation",
     "all",
 ];
 
@@ -1345,6 +1656,7 @@ pub fn run_by_id(id: &str, quick: bool) -> Vec<ExperimentOutput> {
         "scale" => vec![scale(quick)],
         "serving" => vec![serving(quick)],
         "montecarlo" => vec![montecarlo(quick)],
+        "emulation" => vec![emulation(quick)],
         "all" => all(quick),
         other => panic!("unknown experiment id {other:?}, expected one of {IDS:?}"),
     }
@@ -1428,6 +1740,59 @@ mod tests {
             "{csv}"
         );
         assert!(!csv.contains(">cap"), "{csv}");
+    }
+
+    #[test]
+    fn montecarlo_tiny_permille_grid_shares_the_percent_scale() {
+        // 10‰ and 1% are the same fault stream, so a tiny grid carrying
+        // both must report identical integer statistics for the twin
+        // cells and tag each sweep with its dimension.
+        let out = montecarlo_on(&[(12, &[0, 1], 6)], &[(12, &[0, 10], 6)], false);
+        let sweep_csv = out.tables[0].1.to_csv();
+        let crit_csv = out.tables[1].1.to_csv();
+        assert!(crit_csv.contains("loss %"), "{crit_csv}");
+        assert!(crit_csv.contains("loss ‰"), "{crit_csv}");
+        let row = |needle: &str| {
+            sweep_csv
+                .lines()
+                .find(|l| l.contains(needle))
+                .unwrap_or_else(|| panic!("no {needle} row in {sweep_csv}"))
+                .to_string()
+        };
+        let percent = row("loss %,1,");
+        let permille = row("loss ‰,10,");
+        let tail = |l: &str| l.splitn(6, ',').last().unwrap().to_string();
+        assert_eq!(tail(&percent), tail(&permille), "1% must equal 10‰");
+    }
+
+    #[test]
+    fn emulation_tiny_grid_pins_unconstrained_ratios_at_one() {
+        let out = emulation_on(8, 3, &[2, 1], &[0, 500]);
+        assert_eq!(out.tables.len(), 3);
+        let ratio_csv = out.tables[0].1.to_csv();
+        for line in ratio_csv.lines().skip(1) {
+            if line.contains("unconstrained") && line.contains("no-faults") {
+                assert!(line.ends_with(",1.000"), "unconstrained quiet row: {line}");
+            }
+        }
+        // The emulated and model per-mille sweeps locate the same
+        // critical rate (500‰ floors any n = 8 cell).
+        let crit_csv = out.tables[2].1.to_csv();
+        let crit_of = |src: &str| {
+            crit_csv
+                .lines()
+                .find(|l| l.contains("loss ‰") && l.contains(src))
+                .unwrap_or_else(|| panic!("no loss ‰ row for {src} in {crit_csv}"))
+                .rsplit(',')
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(
+            crit_of("emulated(static(path))"),
+            crit_of(",static(path),"),
+            "{crit_csv}"
+        );
     }
 
     #[test]

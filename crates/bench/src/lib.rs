@@ -10,6 +10,7 @@
 
 pub mod adversarybench;
 pub mod composebench;
+pub mod emulationbench;
 pub mod experiments;
 pub mod frontierbench;
 pub mod gate;

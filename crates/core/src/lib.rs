@@ -30,6 +30,10 @@
 //!   workload lattice (token loss, dynamic root reassignment, node
 //!   dropout/rejoin), every run replayable from its recorded
 //!   [`WorkloadReport::fault_log`];
+//! * [`replica`] — the replica-source contract ([`ReplicaSource`],
+//!   [`TreeSpec`], the per-mille [`FaultSpec`], the shared seed
+//!   derivation) through which both the Monte Carlo layer and the gossip
+//!   emulation fan out seeded replicas of one cell;
 //! * [`frontier`] / [`run_workload_frontier`] — a second, frontier-sparse
 //!   engine whose rounds cost O(newly informed) instead of O(n²/64),
 //!   scaling the same workloads and faults to n = 10⁶ and pinned
@@ -66,6 +70,7 @@ pub mod frontier;
 pub mod metrics;
 mod model;
 pub mod prefix;
+pub mod replica;
 pub mod scenario;
 pub mod workload;
 
@@ -81,6 +86,10 @@ pub use frontier::{
 pub use metrics::{MetricsRecorder, RoundMetrics};
 pub use model::BroadcastState;
 pub use prefix::{run_workload_prefixes, ComposedPrefixes, PrefixProvider, PrefixRound};
+pub use replica::{
+    default_budget, replica_seed, splitmix64, FaultSpec, ReplicaOutcome, ReplicaSource, TreeSpec,
+    TREE_STREAM_TWEAK,
+};
 pub use scenario::{
     run_workload_faulty, run_workload_faulty_traced, FaultModel, FaultSchedule, NoFaults,
     RotatingRoot, RoundFaults, SeededFaults,

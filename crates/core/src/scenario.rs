@@ -67,13 +67,15 @@ impl RoundFaults {
     }
 
     /// Sorts and deduplicates the node lists and bounds-checks everything
-    /// against `n`. Crate-visible so the frontier runner normalizes
-    /// identically to the dense one.
+    /// against `n`. Public so every runner — the dense and frontier
+    /// engines here, the gossip emulation in `treecast-emulation` —
+    /// normalizes identically before recording the round into a fault
+    /// log.
     ///
     /// # Panics
     ///
     /// Panics if any named node is `>= n`.
-    pub(crate) fn normalize(&mut self, n: usize) {
+    pub fn normalize(&mut self, n: usize) {
         self.losses.sort_unstable();
         self.losses.dedup();
         self.offline.sort_unstable();
@@ -192,22 +194,45 @@ impl FaultModel for RotatingRoot {
 }
 
 /// Seeded random fault generator: per round, every node forgets with
-/// probability `loss_percent`/100, goes offline for `dropout_rounds`
-/// rounds with probability `dropout_percent`/100, and the round is
-/// re-rooted at a uniform node with probability `root_percent`/100.
+/// probability `loss_permille`/1000, goes offline for `dropout_rounds`
+/// rounds with probability `dropout_permille`/1000, and the round is
+/// re-rooted at a uniform node with probability `root_permille`/1000.
+/// The percent builders ([`SeededFaults::with_token_loss`] etc.) are
+/// exact wrappers over the per-mille ones (`p%` ≡ `10p‰`), which is what
+/// lets the Monte Carlo sweeps resolve sub-percent transitions without
+/// disturbing any percent-configured stream.
 ///
 /// Fully deterministic given the seed and the round sequence — the runner
 /// queries rounds in order, so a rerun with the same configuration
 /// replays the identical fault sequence (and so does
 /// [`FaultSchedule::replay`] of the recorded log, without the model).
+///
+/// # Offline-loss semantics
+///
+/// Token loss is sampled for **every** node each round, including nodes
+/// that are offline that round: dropout is a *connectivity* fault (the
+/// node's tree edges are dropped) while loss is a *memory* fault (the
+/// node's foreign tokens are wiped), and the two streams are
+/// independent. A [`RoundFaults`] produced here may therefore name the
+/// same node in both `losses` and `offline`, and the runners apply both
+/// — the node neither sends nor receives and ends the round holding only
+/// its own token. Suppressing the draw instead would silently shift
+/// every later sample in the stream; the independent-sampling semantics
+/// is pinned by regression tests.
+///
+/// # Fixed n
+///
+/// The dropout windows are per-node state, so one model instance must be
+/// driven at a single network size: [`SeededFaults::faults`] panics if
+/// `n` changes between calls (it used to silently truncate the windows).
 #[derive(Debug, Clone)]
 pub struct SeededFaults {
     rng: StdRng,
     seed: u64,
-    loss_percent: u32,
-    dropout_percent: u32,
+    loss_permille: u32,
+    dropout_permille: u32,
     dropout_rounds: u64,
-    root_percent: u32,
+    root_permille: u32,
     /// Per node, the first round it is back online (0 = online now).
     offline_until: Vec<u64>,
 }
@@ -219,35 +244,62 @@ impl SeededFaults {
         SeededFaults {
             rng: StdRng::seed_from_u64(seed),
             seed,
-            loss_percent: 0,
-            dropout_percent: 0,
+            loss_permille: 0,
+            dropout_permille: 0,
             dropout_rounds: 1,
-            root_percent: 0,
+            root_permille: 0,
             offline_until: Vec::new(),
         }
     }
 
     /// Every node forgets with probability `percent`/100 per round.
     ///
+    /// Exact wrapper over [`SeededFaults::with_token_loss_permille`]
+    /// (`percent`% ≡ `10·percent`‰, draw-for-draw).
+    ///
     /// # Panics
     ///
     /// Panics if `percent > 100`.
-    pub fn with_token_loss(mut self, percent: u32) -> Self {
+    pub fn with_token_loss(self, percent: u32) -> Self {
         assert!(percent <= 100, "loss percent must be ≤ 100");
-        self.loss_percent = percent;
+        self.with_token_loss_permille(10 * percent)
+    }
+
+    /// Every node forgets with probability `permille`/1000 per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `permille > 1000`.
+    pub fn with_token_loss_permille(mut self, permille: u32) -> Self {
+        assert!(permille <= 1000, "loss permille must be ≤ 1000");
+        self.loss_permille = permille;
         self
     }
 
     /// Every online node drops out with probability `percent`/100 per
     /// round, staying offline for `rounds` rounds before rejoining.
     ///
+    /// Exact wrapper over [`SeededFaults::with_dropout_permille`]
+    /// (`percent`% ≡ `10·percent`‰, draw-for-draw).
+    ///
     /// # Panics
     ///
     /// Panics if `percent > 100` or `rounds == 0`.
-    pub fn with_dropout(mut self, percent: u32, rounds: u64) -> Self {
+    pub fn with_dropout(self, percent: u32, rounds: u64) -> Self {
         assert!(percent <= 100, "dropout percent must be ≤ 100");
+        self.with_dropout_permille(10 * percent, rounds)
+    }
+
+    /// Every online node drops out with probability `permille`/1000 per
+    /// round, staying offline for `rounds` rounds before rejoining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `permille > 1000` or `rounds == 0`.
+    pub fn with_dropout_permille(mut self, permille: u32, rounds: u64) -> Self {
+        assert!(permille <= 1000, "dropout permille must be ≤ 1000");
         assert!(rounds >= 1, "dropout must last at least one round");
-        self.dropout_percent = percent;
+        self.dropout_permille = permille;
         self.dropout_rounds = rounds;
         self
     }
@@ -255,36 +307,88 @@ impl SeededFaults {
     /// The round is re-rooted at a uniform random node with probability
     /// `percent`/100.
     ///
+    /// Exact wrapper over [`SeededFaults::with_root_changes_permille`]
+    /// (`percent`% ≡ `10·percent`‰, draw-for-draw).
+    ///
     /// # Panics
     ///
     /// Panics if `percent > 100`.
-    pub fn with_root_changes(mut self, percent: u32) -> Self {
+    pub fn with_root_changes(self, percent: u32) -> Self {
         assert!(percent <= 100, "root-change percent must be ≤ 100");
-        self.root_percent = percent;
+        self.with_root_changes_permille(10 * percent)
+    }
+
+    /// The round is re-rooted at a uniform random node with probability
+    /// `permille`/1000.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `permille > 1000`.
+    pub fn with_root_changes_permille(mut self, permille: u32) -> Self {
+        assert!(permille <= 1000, "root-change permille must be ≤ 1000");
+        self.root_permille = permille;
         self
     }
 
-    fn chance(&mut self, percent: u32) -> bool {
-        percent > 0 && self.rng.gen_ratio(percent, 100)
+    /// One Bernoulli draw at `permille`/1000.
+    ///
+    /// Exactly one RNG word is consumed for any non-zero rate, and rates
+    /// that are whole percents keep drawing through `gen_ratio(p, 100)`
+    /// — the historical stream — so every percent-configured model (and
+    /// every recorded baseline/replay) stays bit-identical; only true
+    /// sub-percent rates take the finer `gen_ratio(p, 1000)` draw.
+    fn chance(&mut self, permille: u32) -> bool {
+        if permille == 0 {
+            false
+        } else if permille % 10 == 0 {
+            self.rng.gen_ratio(permille / 10, 100)
+        } else {
+            self.rng.gen_ratio(permille, 1000)
+        }
+    }
+}
+
+/// `5%` for whole percents, `5‰` otherwise — keeps every historical
+/// percent-era label byte-identical while sub-percent rates stay
+/// visible. Crate-visible so [`crate::replica::FaultSpec`] labels rates
+/// identically.
+pub(crate) fn rate_label(permille: u32) -> String {
+    if permille % 10 == 0 {
+        format!("{}%", permille / 10)
+    } else {
+        format!("{permille}‰")
     }
 }
 
 impl FaultModel for SeededFaults {
+    /// # Panics
+    ///
+    /// Panics if `n` differs from the `n` of an earlier call on the same
+    /// instance — the dropout windows are per-node state, and silently
+    /// truncating (the old behavior) would drop live offline windows.
     fn faults(&mut self, round: u64, n: usize) -> RoundFaults {
+        assert!(
+            self.offline_until.is_empty() || self.offline_until.len() == n,
+            "SeededFaults was driven at n = {} and cannot switch to n = {n}: \
+             the dropout windows are per-node state",
+            self.offline_until.len()
+        );
         self.offline_until.resize(n, 0);
         let mut faults = RoundFaults::quiet();
         for v in 0..n {
             if self.offline_until[v] > round {
                 faults.offline.push(v);
-            } else if self.chance(self.dropout_percent) {
+            } else if self.chance(self.dropout_permille) {
                 self.offline_until[v] = round + self.dropout_rounds;
                 faults.offline.push(v);
             }
-            if self.chance(self.loss_percent) {
+            // Sampled for offline nodes too — see the struct docs: loss is
+            // a memory fault, independent of the connectivity fault.
+            if self.chance(self.loss_permille) {
                 faults.losses.push(v);
             }
         }
-        if self.chance(self.root_percent) {
+        if self.chance(self.root_permille) {
             faults.root = Some(self.rng.gen_range(0..n));
         }
         faults
@@ -292,12 +396,12 @@ impl FaultModel for SeededFaults {
 
     fn name(&self) -> String {
         format!(
-            "seeded(seed={}, loss={}%, drop={}%x{}, root={}%)",
+            "seeded(seed={}, loss={}, drop={}x{}, root={})",
             self.seed,
-            self.loss_percent,
-            self.dropout_percent,
+            rate_label(self.loss_permille),
+            rate_label(self.dropout_permille),
             self.dropout_rounds,
-            self.root_percent
+            rate_label(self.root_permille)
         )
     }
 }
@@ -622,5 +726,92 @@ mod tests {
         assert!(RotatingRoot::new(3).name().contains("period=3"));
         let s = SeededFaults::new(9).with_token_loss(5).name();
         assert!(s.contains("loss=5%"), "{s}");
+        let s = SeededFaults::new(9).with_token_loss_permille(7).name();
+        assert!(s.contains("loss=7‰"), "{s}");
+    }
+
+    #[test]
+    fn percent_and_permille_streams_are_bit_identical() {
+        // The percent builders are exact wrappers: p% and 10p‰ must draw
+        // the identical fault stream (this is what keeps every recorded
+        // percent-era baseline and replay valid).
+        let n = 9;
+        let mut percent = SeededFaults::new(0xBEEF)
+            .with_token_loss(7)
+            .with_dropout(15, 2)
+            .with_root_changes(30);
+        let mut permille = SeededFaults::new(0xBEEF)
+            .with_token_loss_permille(70)
+            .with_dropout_permille(150, 2)
+            .with_root_changes_permille(300);
+        for round in 1..=64 {
+            assert_eq!(
+                percent.faults(round, n),
+                permille.faults(round, n),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn permille_resolves_sub_percent_rates() {
+        // 5‰ must fire sometimes (it is not floored to zero) but stay
+        // well under a 2% empirical rate over a long deterministic run.
+        let n = 100;
+        let rounds = 200;
+        let mut model = SeededFaults::new(0x5EED).with_token_loss_permille(5);
+        let events: usize = (1..=rounds).map(|r| model.faults(r, n).losses.len()).sum();
+        let draws = rounds as usize * n;
+        assert!(events > 0, "5‰ over {draws} draws fired zero times");
+        assert!(
+            events * 50 < draws,
+            "5‰ fired {events}/{draws} times — above 2%"
+        );
+    }
+
+    #[test]
+    fn offline_nodes_still_sample_loss() {
+        // Loss is a memory fault, independent of dropout: a round may
+        // name the same node in both lists, and the combined run still
+        // replays bit-identically from its log.
+        let n = 8;
+        let cfg = SimulationConfig::for_n(n).with_max_rounds(6 * n as u64);
+        let schedule: Vec<_> = (0..n).map(|c| generators::star_with_center(n, c)).collect();
+        let mut model = SeededFaults::new(0x0FF1)
+            .with_token_loss(50)
+            .with_dropout(50, 3);
+        let mut src = SequenceSource::new(schedule.clone());
+        let original = run_workload_faulty(n, &mut src, &Gossip, &mut model, cfg);
+        let overlap = original.fault_log.iter().any(|rf| {
+            rf.losses
+                .iter()
+                .any(|v| rf.offline.binary_search(v).is_ok())
+        });
+        assert!(
+            overlap,
+            "expected some round to lose a token on an offline node: {:?}",
+            original.fault_log
+        );
+
+        let mut replay = FaultSchedule::replay(&original.fault_log);
+        let mut src = SequenceSource::new(schedule);
+        let rerun = run_workload_faulty(n, &mut src, &Gossip, &mut replay, cfg);
+        assert_eq!(rerun.fault_log, original.fault_log);
+        assert_eq!(rerun.completion_time, original.completion_time);
+        assert_eq!(rerun.disseminated, original.disseminated);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot switch to n")]
+    fn seeded_faults_reject_changing_n() {
+        let mut model = SeededFaults::new(1).with_dropout(10, 2);
+        let _ = model.faults(1, 8);
+        let _ = model.faults(2, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss permille must be ≤ 1000")]
+    fn permille_rates_are_bounded() {
+        let _ = SeededFaults::new(1).with_token_loss_permille(1001);
     }
 }

@@ -1,0 +1,825 @@
+//! The gossip protocol: token bitsets, per-peer FIFO message queues,
+//! scenario knobs, and the five-phase round step.
+//!
+//! One [`EmulationState`] holds `n` peers; peer `v` starts holding only
+//! its own token `v`. Where the synchronous engines union whole
+//! heard-from rows in one `state.apply(tree)` step, the emulation moves
+//! tokens with explicit messages, in five phases per round:
+//!
+//! 1. **advert** — every online peer offers a snapshot of its holdings
+//!    to its online children in the round tree, at most
+//!    [`GossipKnobs::fanout`] children per round (the start child
+//!    rotates with the round index, so no child starves under a cap);
+//! 2. **request** — every online peer works through its advert queue
+//!    (at most [`GossipKnobs::batch`] messages) and asks each
+//!    advertiser for the offered tokens it misses, deduplicated within
+//!    the round so two adverts never trigger two requests for one
+//!    token;
+//! 3. **serve** — every online peer answers its request queue (batch
+//!    cap again; at most [`GossipKnobs::bandwidth`] token payloads per
+//!    round; [`GossipKnobs::discipline`] picks the order), re-queueing
+//!    the unsent remainder of a partially served grant at the front of
+//!    its queue;
+//! 4. **integrate** — every peer unions the tokens delivered to it this
+//!    round into its holdings;
+//! 5. **lose** — the round's loss victims forget every foreign token
+//!    (their message queues survive: loss is a memory fault, not a
+//!    network fault).
+//!
+//! With every knob unconstrained a round collapses to "each child gains
+//! exactly its parent's start-of-round holdings" — the synchronous
+//! [`treecast_core::BroadcastState::apply`] step — and every queue is
+//! empty again at the round boundary. That collapse is the crate's
+//! pinning differential (see `tests/differential.rs`). With caps on,
+//! adverts and requests genuinely persist in the FIFO queues across
+//! rounds and dissemination lags the synchronous model; the lag is what
+//! experiment E15 measures.
+
+use std::collections::VecDeque;
+
+use treecast_core::scenario::RoundFaults;
+use treecast_trees::{NodeId, RootedTree};
+
+/// A set of token ids over a fixed universe `0..n`, as a plain bitset.
+///
+/// This is the message payload type of the protocol: holdings
+/// snapshots, wants, grants. (It deliberately does not reuse
+/// `treecast-bitmatrix` rows — those are matrix-shaped and shared; a
+/// payload is owned, cloned into messages, and split by bandwidth
+/// caps.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenSet {
+    n: usize,
+    words: Vec<u64>,
+}
+
+impl TokenSet {
+    /// The empty set over universe `0..n`.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        TokenSet {
+            n,
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// The singleton `{token}` over universe `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token >= n`.
+    #[must_use]
+    pub fn singleton(n: usize, token: usize) -> Self {
+        let mut set = TokenSet::empty(n);
+        set.insert(token);
+        set
+    }
+
+    /// Universe size.
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Number of tokens in the set.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` when no token is present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is outside the universe.
+    #[must_use]
+    pub fn contains(&self, token: usize) -> bool {
+        assert!(token < self.n, "token {token} outside universe {}", self.n);
+        self.words[token / 64] >> (token % 64) & 1 == 1
+    }
+
+    /// Inserts `token`; returns `true` if it was newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is outside the universe.
+    pub fn insert(&mut self, token: usize) -> bool {
+        assert!(token < self.n, "token {token} outside universe {}", self.n);
+        let word = &mut self.words[token / 64];
+        let mask = 1u64 << (token % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// `self ∪= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a universe mismatch.
+    pub fn union_with(&mut self, other: &TokenSet) {
+        assert_eq!(self.n, other.n, "token-universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// `self ∖= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a universe mismatch.
+    pub fn subtract(&mut self, other: &TokenSet) {
+        assert_eq!(self.n, other.n, "token-universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// `self ∩ other`, as a new set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a universe mismatch.
+    #[must_use]
+    pub fn intersection(&self, other: &TokenSet) -> TokenSet {
+        assert_eq!(self.n, other.n, "token-universe mismatch");
+        TokenSet {
+            n: self.n,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Removes and returns the `cap` lowest-numbered tokens (all of
+    /// them, if fewer are present) — how a bandwidth cap splits a
+    /// grant into the sent part and the re-queued remainder.
+    #[must_use]
+    pub fn take_first(&mut self, cap: usize) -> TokenSet {
+        let mut taken = TokenSet::empty(self.n);
+        let mut left = cap;
+        for (word, out) in self.words.iter_mut().zip(taken.words.iter_mut()) {
+            while left > 0 && *word != 0 {
+                let low = *word & word.wrapping_neg();
+                *word ^= low;
+                *out |= low;
+                left -= 1;
+            }
+            if left == 0 {
+                break;
+            }
+        }
+        taken
+    }
+
+    /// Iterates the tokens in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.words.len()).flat_map(move |wi| {
+            let mut word = self.words[wi];
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    None
+                } else {
+                    let bit = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+}
+
+/// How a serving peer orders its request queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum QueueDiscipline {
+    /// Serve requests in arrival order.
+    #[default]
+    Fifo,
+    /// Serve the smallest outstanding want first each round (a
+    /// shortest-job-first variant; stable, so equal sizes keep arrival
+    /// order).
+    SmallestFirst,
+}
+
+/// The scenario knobs of the protocol — each one a first-class sweep
+/// dimension through [`crate::EmuSweepDim`]. `None` means
+/// unconstrained; with every knob unconstrained the emulation is
+/// round-for-round the synchronous model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GossipKnobs {
+    /// Max token payloads a peer may deliver per round (partial grants
+    /// are re-queued at the front of the request queue).
+    pub bandwidth: Option<u32>,
+    /// Max children a peer adverts to per round (the start child
+    /// rotates with the round index).
+    pub fanout: Option<u32>,
+    /// Max messages a peer processes per queue per round (adverts in
+    /// the request phase, requests in the serve phase).
+    pub batch: Option<u32>,
+    /// Request-queue service order.
+    pub discipline: QueueDiscipline,
+}
+
+impl GossipKnobs {
+    /// No caps, FIFO service — the configuration pinned to the
+    /// synchronous engines.
+    #[must_use]
+    pub fn unconstrained() -> Self {
+        GossipKnobs::default()
+    }
+
+    /// Caps deliveries at `tokens` payloads per peer per round.
+    #[must_use]
+    pub fn with_bandwidth(mut self, tokens: u32) -> Self {
+        self.bandwidth = Some(tokens);
+        self
+    }
+
+    /// Caps adverts at `children` per peer per round.
+    #[must_use]
+    pub fn with_fanout(mut self, children: u32) -> Self {
+        self.fanout = Some(children);
+        self
+    }
+
+    /// Caps queue processing at `messages` per queue per peer per round.
+    #[must_use]
+    pub fn with_batch(mut self, messages: u32) -> Self {
+        self.batch = Some(messages);
+        self
+    }
+
+    /// Sets the request-queue service order.
+    #[must_use]
+    pub fn with_discipline(mut self, discipline: QueueDiscipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// `true` when no knob constrains the protocol.
+    #[must_use]
+    pub fn is_unconstrained(&self) -> bool {
+        *self == GossipKnobs::default()
+    }
+
+    /// Compact label for tables (`unconstrained`, or the set knobs:
+    /// `bw=4,fan=2,smallest-first`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        if self.is_unconstrained() {
+            return "unconstrained".into();
+        }
+        let mut parts = Vec::new();
+        if let Some(b) = self.bandwidth {
+            parts.push(format!("bw={b}"));
+        }
+        if let Some(f) = self.fanout {
+            parts.push(format!("fan={f}"));
+        }
+        if let Some(b) = self.batch {
+            parts.push(format!("batch={b}"));
+        }
+        if self.discipline == QueueDiscipline::SmallestFirst {
+            parts.push("smallest-first".into());
+        }
+        parts.join(",")
+    }
+}
+
+/// "I hold these tokens" — sent parent → child along round-tree edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Advert {
+    from: NodeId,
+    have: TokenSet,
+}
+
+/// "Send me these tokens" — the reply to an advert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Request {
+    from: NodeId,
+    want: TokenSet,
+}
+
+/// One simulated peer: its token holdings plus one FIFO queue per
+/// message class.
+#[derive(Debug, Clone)]
+struct Peer {
+    holdings: TokenSet,
+    adverts: VecDeque<Advert>,
+    requests: VecDeque<Request>,
+    delivers: VecDeque<TokenSet>,
+}
+
+impl Peer {
+    fn new(n: usize, id: NodeId) -> Self {
+        Peer {
+            holdings: TokenSet::singleton(n, id),
+            adverts: VecDeque::new(),
+            requests: VecDeque::new(),
+            delivers: VecDeque::new(),
+        }
+    }
+}
+
+/// The full network state of an emulation run: `n` peers, their queues,
+/// and incrementally maintained per-token holder counts.
+#[derive(Debug, Clone)]
+pub struct EmulationState {
+    peers: Vec<Peer>,
+    /// `holders[t]` = number of peers currently holding token `t`.
+    holders: Vec<u32>,
+    /// Number of tokens with `holders == n`, maintained incrementally.
+    disseminated: usize,
+    round: u64,
+    /// Per-peer within-round request dedup scratch (cleared via
+    /// `touched` after every request phase).
+    requested: Vec<TokenSet>,
+    touched: Vec<NodeId>,
+}
+
+impl EmulationState {
+    /// A fresh `n`-peer network: peer `v` holds exactly token `v`, all
+    /// queues empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "emulation needs at least one peer");
+        EmulationState {
+            peers: (0..n).map(|v| Peer::new(n, v)).collect(),
+            holders: vec![1; n],
+            disseminated: if n == 1 { 1 } else { 0 },
+            round: 0,
+            requested: vec![TokenSet::empty(n); n],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Number of peers (= number of tokens).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Rounds executed so far.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Peer `v`'s current holdings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[must_use]
+    pub fn holdings(&self, v: NodeId) -> &TokenSet {
+        &self.peers[v].holdings
+    }
+
+    /// Number of peers currently holding token `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= n`.
+    #[must_use]
+    pub fn holders(&self, t: usize) -> usize {
+        self.holders[t] as usize
+    }
+
+    /// Number of fully disseminated tokens (held by every peer) — the
+    /// emulation's [`treecast_core::BroadcastState::disseminated_count`].
+    #[must_use]
+    pub fn disseminated_count(&self) -> usize {
+        self.disseminated
+    }
+
+    /// Number of fully disseminated tokens among `sources` — the
+    /// tracked-workload progress count. `sources` must be duplicate-free.
+    #[must_use]
+    pub fn disseminated_among(&self, sources: &[NodeId]) -> usize {
+        let n = self.n();
+        sources
+            .iter()
+            .filter(|&&s| self.holders[s] as usize == n)
+            .count()
+    }
+
+    /// Total messages sitting in queues across all peers — zero at
+    /// every round boundary when the knobs are unconstrained, and the
+    /// direct reading of how far the asynchronous run lags.
+    #[must_use]
+    pub fn pending_messages(&self) -> usize {
+        self.peers
+            .iter()
+            .map(|p| p.adverts.len() + p.requests.len() + p.delivers.len())
+            .sum()
+    }
+
+    /// Executes one protocol round over `tree` under the (normalized)
+    /// round faults `rf` and the given knobs. `rf` carries loss and
+    /// offline sets; re-rooting is the runner's job (the tree passed
+    /// here is already re-rooted, exactly as in the synchronous
+    /// runner).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree's size differs from `n` or a fault names a
+    /// node out of range. `rf` must have been normalized
+    /// ([`RoundFaults::normalize`]) — the offline lookup binary-searches
+    /// the sorted list.
+    pub fn gossip_round(&mut self, tree: &RootedTree, rf: &RoundFaults, knobs: &GossipKnobs) {
+        let n = self.peers.len();
+        assert_eq!(tree.n(), n, "round tree size mismatch");
+        let round_index = self.round + 1;
+        let is_offline = |v: NodeId| rf.offline.binary_search(&v).is_ok();
+        let fanout = knobs.fanout.map_or(usize::MAX, |f| f as usize);
+        let batch = knobs.batch.map_or(usize::MAX, |b| b as usize);
+        let bandwidth = knobs.bandwidth.map_or(usize::MAX, |b| b as usize);
+
+        // Phase 1 — advert. Staged in ascending peer order, then
+        // appended to the destinations' queues: deterministic, and no
+        // aliasing between the senders we read and the queues we fill.
+        let mut outbox: Vec<(NodeId, Advert)> = Vec::new();
+        for p in 0..n {
+            if is_offline(p) {
+                continue;
+            }
+            let online: Vec<NodeId> = tree
+                .children(p)
+                .iter()
+                .copied()
+                .filter(|&c| !is_offline(c))
+                .collect();
+            if online.is_empty() {
+                continue;
+            }
+            let advert = |from: NodeId, have: &TokenSet| Advert {
+                from,
+                have: have.clone(),
+            };
+            if online.len() <= fanout {
+                for &c in &online {
+                    outbox.push((c, advert(p, &self.peers[p].holdings)));
+                }
+            } else {
+                // Capped: rotate the start child with the round index so
+                // every child is served within ⌈children/fanout⌉ rounds.
+                let start = ((round_index - 1) as usize) % online.len();
+                for j in 0..fanout {
+                    let c = online[(start + j) % online.len()];
+                    outbox.push((c, advert(p, &self.peers[p].holdings)));
+                }
+            }
+        }
+        for (dest, ad) in outbox {
+            self.peers[dest].adverts.push_back(ad);
+        }
+
+        // Phase 2 — request. A peer asks each advertiser for the offered
+        // tokens it misses; `requested` dedups within the round so two
+        // adverts never trigger two same-round requests for one token.
+        // Adverts from a now-offline peer are dropped (the connection is
+        // gone; the tokens will be re-advertised).
+        let mut requests: Vec<(NodeId, Request)> = Vec::new();
+        for y in 0..n {
+            if is_offline(y) {
+                continue;
+            }
+            let mut processed = 0;
+            while processed < batch {
+                let Some(ad) = self.peers[y].adverts.pop_front() else {
+                    break;
+                };
+                processed += 1;
+                if is_offline(ad.from) {
+                    continue;
+                }
+                let mut want = ad.have;
+                want.subtract(&self.peers[y].holdings);
+                want.subtract(&self.requested[y]);
+                if want.is_empty() {
+                    continue;
+                }
+                self.requested[y].union_with(&want);
+                self.touched.push(y);
+                requests.push((ad.from, Request { from: y, want }));
+            }
+        }
+        for (dest, rq) in requests {
+            self.peers[dest].requests.push_back(rq);
+        }
+        for y in self.touched.drain(..) {
+            let n = self.requested[y].universe();
+            self.requested[y] = TokenSet::empty(n);
+        }
+
+        // Phase 3 — serve. Deliveries are staged (same reason as phase
+        // 1); a grant the bandwidth cap truncates is re-queued at the
+        // front so the transfer resumes next round. Wants the server
+        // cannot supply are dropped — the requester re-requests on a
+        // future advert.
+        let mut deliveries: Vec<(NodeId, TokenSet)> = Vec::new();
+        for p in 0..n {
+            if is_offline(p) {
+                continue;
+            }
+            let peer = &mut self.peers[p];
+            if peer.requests.is_empty() {
+                continue;
+            }
+            if knobs.discipline == QueueDiscipline::SmallestFirst {
+                // Stable: equal-size wants keep their arrival order.
+                peer.requests
+                    .make_contiguous()
+                    .sort_by_key(|r| r.want.count());
+            }
+            let mut bw_left = bandwidth;
+            let mut served = 0;
+            while served < batch && bw_left > 0 {
+                let Some(rq) = peer.requests.pop_front() else {
+                    break;
+                };
+                served += 1;
+                if is_offline(rq.from) {
+                    continue;
+                }
+                let mut grant = rq.want.intersection(&peer.holdings);
+                if grant.is_empty() {
+                    continue;
+                }
+                let sent = grant.take_first(bw_left);
+                bw_left -= sent.count();
+                if !grant.is_empty() {
+                    peer.requests.push_front(Request {
+                        from: rq.from,
+                        want: grant,
+                    });
+                }
+                deliveries.push((rq.from, sent));
+            }
+        }
+        for (dest, tokens) in deliveries {
+            self.peers[dest].delivers.push_back(tokens);
+        }
+
+        // Phase 4 — integrate. Deliveries only ever target peers online
+        // in the round that staged them, and the deliver queue drains
+        // fully every round, so it never persists across rounds.
+        for v in 0..n {
+            while let Some(tokens) = self.peers[v].delivers.pop_front() {
+                for t in tokens.iter() {
+                    if self.peers[v].holdings.insert(t) {
+                        self.holders[t] += 1;
+                        if self.holders[t] as usize == n {
+                            self.disseminated += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 5 — lose. The victim keeps its own token and its
+        // queues; only the foreign-token memory is wiped (the exact
+        // counterpart of the synchronous `forget`).
+        for &v in &rf.losses {
+            let old = std::mem::replace(&mut self.peers[v].holdings, TokenSet::singleton(n, v));
+            for t in old.iter() {
+                if t == v {
+                    continue;
+                }
+                if self.holders[t] as usize == n {
+                    self.disseminated -= 1;
+                }
+                self.holders[t] -= 1;
+            }
+        }
+
+        self.round += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treecast_trees::generators;
+
+    fn quiet() -> RoundFaults {
+        RoundFaults::quiet()
+    }
+
+    #[test]
+    fn token_set_basics() {
+        let mut s = TokenSet::empty(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129), "second insert is not fresh");
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    fn token_set_algebra() {
+        let mut a = TokenSet::empty(70);
+        let mut b = TokenSet::empty(70);
+        for t in [1, 3, 65] {
+            a.insert(t);
+        }
+        for t in [3, 65, 69] {
+            b.insert(t);
+        }
+        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![3, 65]);
+        a.subtract(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1]);
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 3, 65, 69]);
+    }
+
+    #[test]
+    fn take_first_splits_low_tokens_out() {
+        let mut s = TokenSet::empty(200);
+        for t in [5, 70, 140, 199] {
+            s.insert(t);
+        }
+        let taken = s.take_first(3);
+        assert_eq!(taken.iter().collect::<Vec<_>>(), vec![5, 70, 140]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![199]);
+        let rest = s.take_first(10);
+        assert_eq!(rest.count(), 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn knob_labels_read_back() {
+        assert_eq!(GossipKnobs::unconstrained().label(), "unconstrained");
+        assert!(GossipKnobs::unconstrained().is_unconstrained());
+        let knobs = GossipKnobs::unconstrained()
+            .with_bandwidth(4)
+            .with_fanout(2)
+            .with_discipline(QueueDiscipline::SmallestFirst);
+        assert_eq!(knobs.label(), "bw=4,fan=2,smallest-first");
+        assert!(!knobs.is_unconstrained());
+    }
+
+    #[test]
+    fn unconstrained_round_equals_parent_union_and_drains_queues() {
+        // On the path, one unconstrained round must advance the frontier
+        // exactly one hop: child gains its parent's start-of-round
+        // holdings, nothing else, queues empty at the boundary.
+        let n = 6;
+        let tree = generators::path(n);
+        let mut emu = EmulationState::new(n);
+        let knobs = GossipKnobs::unconstrained();
+        emu.gossip_round(&tree, &quiet(), &knobs);
+        for v in 0..n {
+            let expect: Vec<usize> = if v == 0 { vec![0] } else { vec![v - 1, v] };
+            assert_eq!(emu.holdings(v).iter().collect::<Vec<_>>(), expect, "v={v}");
+        }
+        assert_eq!(emu.pending_messages(), 0);
+        assert_eq!(emu.round(), 1);
+    }
+
+    #[test]
+    fn star_disseminates_the_center_token_in_one_unconstrained_round() {
+        let n = 9;
+        let tree = generators::star(n);
+        let mut emu = EmulationState::new(n);
+        emu.gossip_round(&tree, &quiet(), &GossipKnobs::unconstrained());
+        assert_eq!(emu.holders(0), n);
+        assert_eq!(
+            emu.disseminated_count(),
+            1,
+            "only the center token is global"
+        );
+        assert_eq!(emu.disseminated_among(&[0]), 1);
+        assert_eq!(
+            emu.disseminated_among(&[1, 2]),
+            0,
+            "leaf tokens still local"
+        );
+    }
+
+    #[test]
+    fn fanout_cap_rotates_over_the_children() {
+        // Star center with fanout 1: one child learns token 0 per round,
+        // and the rotation reaches all n-1 children in n-1 rounds.
+        let n = 5;
+        let tree = generators::star(n);
+        let mut emu = EmulationState::new(n);
+        let knobs = GossipKnobs::unconstrained().with_fanout(1);
+        for round in 1..n {
+            emu.gossip_round(&tree, &quiet(), &knobs);
+            assert_eq!(emu.holders(0), 1 + round, "after round {round}");
+        }
+        assert_eq!(emu.holders(0), n);
+    }
+
+    #[test]
+    fn bandwidth_cap_defers_but_preserves_tokens() {
+        // Star with bandwidth 1 at the center: every child requests
+        // token 0 each round but only one payload leaves per round.
+        let n = 6;
+        let tree = generators::star(n);
+        let mut emu = EmulationState::new(n);
+        let knobs = GossipKnobs::unconstrained().with_bandwidth(1);
+        for round in 1..n {
+            emu.gossip_round(&tree, &quiet(), &knobs);
+            assert_eq!(emu.holders(0), 1 + round, "after round {round}");
+        }
+        assert_eq!(emu.holders(0), n);
+    }
+
+    #[test]
+    fn partial_grants_requeue_at_the_front() {
+        // A two-token grant under bandwidth 1 is split: the low token
+        // goes out, the remainder resumes next round. Fanout 0 keeps
+        // the protocol otherwise silent so only the seeded request
+        // moves tokens.
+        let n = 4;
+        let tree = generators::path(n);
+        let mut emu = EmulationState::new(n);
+        for t in 1..n {
+            emu.peers[0].holdings.insert(t);
+            emu.holders[t] += 1;
+        }
+        let mut want = TokenSet::empty(n);
+        want.insert(1);
+        want.insert(2);
+        emu.peers[0].requests.push_back(Request { from: 3, want });
+        let knobs = GossipKnobs::unconstrained()
+            .with_fanout(0)
+            .with_bandwidth(1);
+        emu.gossip_round(&tree, &quiet(), &knobs);
+        assert!(emu.holdings(3).contains(1), "low token first");
+        assert!(!emu.holdings(3).contains(2), "remainder deferred");
+        assert_eq!(emu.peers[0].requests.len(), 1, "remainder re-queued");
+        emu.gossip_round(&tree, &quiet(), &knobs);
+        assert!(emu.holdings(3).contains(2), "transfer resumed");
+        assert!(emu.peers[0].requests.is_empty());
+    }
+
+    #[test]
+    fn offline_peers_neither_send_nor_receive() {
+        let n = 4;
+        let tree = generators::path(n);
+        let mut emu = EmulationState::new(n);
+        let mut rf = RoundFaults {
+            offline: vec![1],
+            ..RoundFaults::quiet()
+        };
+        rf.normalize(n);
+        emu.gossip_round(&tree, &rf, &GossipKnobs::unconstrained());
+        assert_eq!(emu.holdings(1).count(), 1, "offline: no token in");
+        assert_eq!(emu.holdings(2).count(), 1, "offline parent: no token out");
+        assert_eq!(emu.holdings(3).count(), 2, "2 → 3 unaffected");
+        assert_eq!(
+            emu.pending_messages(),
+            0,
+            "no advert addressed an offline peer"
+        );
+    }
+
+    #[test]
+    fn losses_forget_foreign_tokens_and_fix_the_counters() {
+        let n = 3;
+        let tree = generators::star(n);
+        let mut emu = EmulationState::new(n);
+        emu.gossip_round(&tree, &quiet(), &GossipKnobs::unconstrained());
+        assert!(emu.holdings(1).contains(0));
+        let mut rf = RoundFaults {
+            losses: vec![1],
+            ..RoundFaults::quiet()
+        };
+        rf.normalize(n);
+        emu.gossip_round(&tree, &rf, &GossipKnobs::unconstrained());
+        // Nothing new arrived (node 1 already held {0, 1}); the loss
+        // then wiped the foreign token back out.
+        assert_eq!(emu.holdings(1).iter().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(emu.holders(0), 2);
+        // The incremental counters must agree with a recount.
+        for t in 0..n {
+            let recount = (0..n).filter(|&v| emu.holdings(v).contains(t)).count();
+            assert_eq!(emu.holders(t), recount, "token {t}");
+        }
+    }
+
+    #[test]
+    fn n_equal_one_is_born_disseminated() {
+        let emu = EmulationState::new(1);
+        assert_eq!(emu.disseminated_count(), 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! The emulation runner: drives [`EmulationState`] rounds from a
+//! [`TreeSource`] + [`FaultModel`] pair with the exact loop of the
+//! synchronous [`run_workload_faulty`], so the two produce comparable —
+//! and, with unconstrained knobs, *identical* — [`WorkloadReport`]s.
+//!
+//! Mirrored decisions, in loop order: the fault model is queried once
+//! per executed round with 1-based round numbers; the faults are
+//! [`RoundFaults::normalize`]d before use; the source's tree is
+//! re-rooted when the faults demand it; the round executes
+//! ([`EmulationState::gossip_round`] here, the masked matrix there);
+//! the trace hook fires; the normalized faults are appended to the
+//! fault log; completion is the tracked workload's predicate over the
+//! end-of-round state and `broadcast_time` is the first round with any
+//! *fully* disseminated token, both seeded at round 0 for the `n = 1`
+//! degenerate case. Replaying a report's `fault_log` through
+//! [`FaultSchedule::replay`] therefore reproduces an emulation run
+//! bit-identically, exactly as it does a synchronous run.
+//!
+//! One honest divergence: [`TreeSource::next_tree`] takes the
+//! synchronous product-graph state, which an emulation does not have.
+//! The runner feeds every call a fresh round-0 [`BroadcastState`], so a
+//! *state-adaptive* source would see a frozen snapshot. All sources the
+//! replica layer uses (static trees, pre-generated sequences, seeded
+//! streams) ignore the state argument entirely; adaptive adversaries
+//! are a synchronous-engine concept.
+//!
+//! [`run_workload_faulty`]: treecast_core::scenario::run_workload_faulty
+//! [`FaultSchedule::replay`]: treecast_core::scenario::FaultSchedule::replay
+
+use treecast_core::scenario::{FaultModel, RoundFaults};
+use treecast_core::workload::{SourceSet, Workload, WorkloadOutcome, WorkloadReport};
+use treecast_core::{BroadcastState, SimulationConfig, TreeSource};
+use treecast_trees::{NodeId, RootedTree};
+
+use crate::protocol::{EmulationState, GossipKnobs};
+
+/// Runs the gossip protocol over `source`'s trees under `faults` until
+/// `workload` completes or `config.max_rounds` is hit — the emulation
+/// twin of [`treecast_core::scenario::run_workload_faulty`], knob-capped
+/// by `knobs`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, a fault names a node `>= n`, or the source
+/// produces a tree of the wrong size.
+pub fn run_emulation<S, W, F>(
+    n: usize,
+    source: &mut S,
+    workload: &W,
+    knobs: &GossipKnobs,
+    faults: &mut F,
+    config: SimulationConfig,
+) -> WorkloadReport
+where
+    S: TreeSource + ?Sized,
+    W: Workload + ?Sized,
+    F: FaultModel + ?Sized,
+{
+    run_emulation_traced(n, source, workload, knobs, faults, config, |_, _, _| {})
+}
+
+/// [`run_emulation`] with a per-round hook: called after every executed
+/// round with the normalized faults, the (re-rooted) round tree, and
+/// the emulation state after the round — the round-for-round witness
+/// the differential tests compare against the synchronous engine.
+///
+/// # Panics
+///
+/// Same contract as [`run_emulation`].
+pub fn run_emulation_traced<S, W, F>(
+    n: usize,
+    source: &mut S,
+    workload: &W,
+    knobs: &GossipKnobs,
+    faults: &mut F,
+    config: SimulationConfig,
+    mut on_round: impl FnMut(&RoundFaults, &RootedTree, &EmulationState),
+) -> WorkloadReport
+where
+    S: TreeSource + ?Sized,
+    W: Workload + ?Sized,
+    F: FaultModel + ?Sized,
+{
+    let mut emu = EmulationState::new(n);
+    // The tracked-source list: `None` tracks all n tokens (the
+    // broadcast/gossip family), mirroring the synchronous runner's
+    // TrackedTokens split.
+    let sources: Option<Vec<NodeId>> = match workload.sources(n) {
+        SourceSet::All => None,
+        SourceSet::Nodes(list) => Some(list),
+    };
+    let progress_of = |emu: &EmulationState| {
+        let (tokens, disseminated) = match &sources {
+            None => (n, emu.disseminated_count()),
+            Some(list) => (list.len(), emu.disseminated_among(list)),
+        };
+        treecast_core::workload::WorkloadProgress {
+            n,
+            round: emu.round(),
+            tokens,
+            disseminated,
+        }
+    };
+    // The state handed to `next_tree` — see the module docs: the spec
+    // sources ignore it, so a frozen round-0 snapshot is exact.
+    let frozen = BroadcastState::new(n);
+
+    let mut progress = progress_of(&emu);
+    let mut completion_time = workload.is_complete(&progress).then_some(0);
+    let mut broadcast_time = (emu.disseminated_count() >= 1).then_some(0);
+    let mut fault_log: Vec<RoundFaults> = Vec::new();
+
+    while completion_time.is_none() && emu.round() < config.max_rounds {
+        let mut rf = faults.faults(emu.round() + 1, n);
+        rf.normalize(n);
+        let tree = source.next_tree(&frozen);
+        let tree = match rf.root {
+            Some(r) => tree.rerooted(r),
+            None => tree,
+        };
+        emu.gossip_round(&tree, &rf, knobs);
+        on_round(&rf, &tree, &emu);
+        fault_log.push(rf);
+        progress = progress_of(&emu);
+        if workload.is_complete(&progress) {
+            completion_time = Some(progress.round);
+        }
+        if broadcast_time.is_none() && emu.disseminated_count() >= 1 {
+            broadcast_time = Some(emu.round());
+        }
+    }
+
+    WorkloadReport {
+        n,
+        workload: workload.name(),
+        source: source.name(),
+        rounds: emu.round(),
+        outcome: if completion_time.is_some() {
+            WorkloadOutcome::Completed
+        } else {
+            WorkloadOutcome::RoundLimit
+        },
+        completion_time,
+        broadcast_time,
+        disseminated: progress.disseminated,
+        tokens: progress.tokens,
+        fault_log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treecast_core::scenario::{run_workload_faulty, FaultSchedule, NoFaults, SeededFaults};
+    use treecast_core::workload::{Broadcast, Gossip, KSourceBroadcast};
+    use treecast_core::{SequenceSource, StaticSource};
+    use treecast_trees::generators;
+
+    #[test]
+    fn unconstrained_quiet_path_matches_the_synchronous_engine() {
+        for n in [1usize, 2, 5, 9] {
+            let cfg = SimulationConfig::for_n(n);
+            let mut a = StaticSource::new(generators::path(n));
+            let mut b = StaticSource::new(generators::path(n));
+            let emulated = run_emulation(
+                n,
+                &mut a,
+                &Broadcast,
+                &GossipKnobs::unconstrained(),
+                &mut NoFaults,
+                cfg,
+            );
+            let model = run_workload_faulty(n, &mut b, &Broadcast, &mut NoFaults, cfg);
+            assert_eq!(emulated, model, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn unconstrained_faulty_star_sequence_matches_the_synchronous_engine() {
+        // Rotating star centers under a seeded fault cocktail: the
+        // unconstrained emulation must match the dense engine report for
+        // report — fault log included.
+        let n = 8;
+        let trees: Vec<_> = (0..n).map(|c| generators::star_with_center(n, c)).collect();
+        let cfg = SimulationConfig::gossip_for_n(n);
+        let workload = Gossip;
+        for seed in [1u64, 7, 0xFEED] {
+            let mut a = SequenceSource::new(trees.clone());
+            let mut b = SequenceSource::new(trees.clone());
+            let mut fa = SeededFaults::new(seed)
+                .with_token_loss(20)
+                .with_dropout(10, 2)
+                .with_root_changes(15);
+            let mut fb = SeededFaults::new(seed)
+                .with_token_loss(20)
+                .with_dropout(10, 2)
+                .with_root_changes(15);
+            let emulated = run_emulation(
+                n,
+                &mut a,
+                &workload,
+                &GossipKnobs::unconstrained(),
+                &mut fa,
+                cfg,
+            );
+            let model = run_workload_faulty(n, &mut b, &workload, &mut fb, cfg);
+            assert_eq!(emulated, model, "seed = {seed}");
+        }
+    }
+
+    #[test]
+    fn fault_log_replay_reproduces_an_emulation_run() {
+        let n = 7;
+        let cfg = SimulationConfig::for_n(n).with_max_rounds(48);
+        let workload = KSourceBroadcast::evenly_spread(n, 2);
+        let knobs = GossipKnobs::unconstrained().with_bandwidth(2);
+        let mut source = StaticSource::new(generators::path(n));
+        let mut faults = SeededFaults::new(99)
+            .with_token_loss(15)
+            .with_dropout(10, 2);
+        let original = run_emulation(n, &mut source, &workload, &knobs, &mut faults, cfg);
+        let mut replay_source = StaticSource::new(generators::path(n));
+        let mut replay = FaultSchedule::replay(&original.fault_log);
+        let replayed = run_emulation(n, &mut replay_source, &workload, &knobs, &mut replay, cfg);
+        assert_eq!(original.completion_time, replayed.completion_time);
+        assert_eq!(original.broadcast_time, replayed.broadcast_time);
+        assert_eq!(original.fault_log, replayed.fault_log);
+        assert_eq!(original.disseminated, replayed.disseminated);
+    }
+
+    #[test]
+    fn bandwidth_cap_delays_the_star_but_not_forever() {
+        // One-round star broadcast stretches to n−1 rounds when the
+        // center can ship one payload per round.
+        let n = 6;
+        let cfg = SimulationConfig::for_n(n);
+        let mut source = StaticSource::new(generators::star(n));
+        let capped = run_emulation(
+            n,
+            &mut source,
+            &Broadcast,
+            &GossipKnobs::unconstrained().with_bandwidth(1),
+            &mut NoFaults,
+            cfg,
+        );
+        assert_eq!(capped.completion_time, Some((n - 1) as u64));
+        let mut source = StaticSource::new(generators::star(n));
+        let free = run_emulation(
+            n,
+            &mut source,
+            &Broadcast,
+            &GossipKnobs::unconstrained(),
+            &mut NoFaults,
+            cfg,
+        );
+        assert_eq!(free.completion_time, Some(1));
+    }
+
+    #[test]
+    fn round_budget_censors_a_starved_run() {
+        // Fanout 0 sends no adverts at all: nothing ever moves and the
+        // runner must stop at the cap with a RoundLimit outcome.
+        let n = 4;
+        let cfg = SimulationConfig::for_n(n).with_max_rounds(10);
+        let mut source = StaticSource::new(generators::path(n));
+        let report = run_emulation(
+            n,
+            &mut source,
+            &Broadcast,
+            &GossipKnobs::unconstrained().with_fanout(0),
+            &mut NoFaults,
+            cfg,
+        );
+        assert_eq!(report.outcome, WorkloadOutcome::RoundLimit);
+        assert_eq!(report.completion_time, None);
+        assert_eq!(report.rounds, 10);
+        assert_eq!(report.fault_log.len(), 10);
+    }
+
+    #[test]
+    fn traced_hook_sees_every_round() {
+        let n = 5;
+        let mut rounds_seen = 0u64;
+        let mut source = StaticSource::new(generators::path(n));
+        let report = run_emulation_traced(
+            n,
+            &mut source,
+            &Broadcast,
+            &GossipKnobs::unconstrained(),
+            &mut NoFaults,
+            SimulationConfig::for_n(n),
+            |rf, tree, emu| {
+                rounds_seen += 1;
+                assert!(rf.is_quiet());
+                assert_eq!(tree.n(), n);
+                assert_eq!(emu.round(), rounds_seen);
+            },
+        );
+        assert_eq!(rounds_seen, report.rounds);
+    }
+}

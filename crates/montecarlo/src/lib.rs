@@ -48,7 +48,8 @@ pub mod sweep;
 
 pub use estimator::{wilson_interval, OnlineMoments, P2Quantile, RoundStats, Z_95};
 pub use replica::{
-    default_budget, estimate, replica_seed, run_replica, run_replica_on, run_replicas, splitmix64,
-    FaultSpec, MonteCarloEstimate, ReplicaOutcome, RunSpec, TreeSpec, DENSE_MAX_N,
+    default_budget, estimate, estimate_from, replica_seed, run_replica, run_replica_on,
+    run_replicas, run_replicas_from, splitmix64, FaultSpec, MonteCarloEstimate, ReplicaOutcome,
+    ReplicaSource, RunSpec, TreeSpec, DENSE_MAX_N, TREE_STREAM_TWEAK,
 };
-pub use sweep::{sweep, SweepCell, SweepDim, SweepResult};
+pub use sweep::{sweep, sweep_cells, SweepCell, SweepDim, SweepResult};

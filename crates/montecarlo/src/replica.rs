@@ -27,162 +27,24 @@
 //! layer.
 
 use treecast_core::frontier::{run_workload_frontier_faulty, FrontierSource};
-use treecast_core::scenario::{run_workload_faulty, FaultModel, RoundFaults, SeededFaults};
+use treecast_core::scenario::run_workload_faulty;
 use treecast_core::{KSourceBroadcast, SimulationConfig, Workload, WorkloadOutcome};
 use treecast_trees::generators;
+
+// The cell vocabulary and the replica-source contract live in
+// `treecast_core::replica` (shared with `treecast-emulation`); this
+// crate re-exports them so `treecast_montecarlo::{TreeSpec, FaultSpec,
+// …}` keep working unchanged.
+pub use treecast_core::replica::{
+    default_budget, replica_seed, splitmix64, FaultSpec, ReplicaOutcome, ReplicaSource, TreeSpec,
+    TREE_STREAM_TWEAK,
+};
 
 use crate::estimator::RoundStats;
 
 /// Largest `n` the dense (bit-matrix state) engine serves; above this
 /// every replica runs on the frontier-sparse engine.
 pub const DENSE_MAX_N: usize = 1024;
-
-/// The tree source a replica runs against.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TreeSpec {
-    /// The static path — the paper's Θ(n)-diameter worst case. The same
-    /// tree every round and every replica; all randomness comes from the
-    /// fault model.
-    Path,
-    /// The static star rooted at its center — the one-round broadcast
-    /// topology.
-    Star,
-    /// A fresh uniform random arborescence every round, seeded per
-    /// replica (replica `r` draws an independent tree stream).
-    SeededUniform,
-}
-
-impl TreeSpec {
-    /// Human-readable label for tables and reports.
-    #[must_use]
-    pub fn label(self) -> &'static str {
-        match self {
-            TreeSpec::Path => "static(path)",
-            TreeSpec::Star => "static(star)",
-            TreeSpec::SeededUniform => "seeded-uniform",
-        }
-    }
-}
-
-/// The randomized fault mix of a cell, applied through
-/// [`SeededFaults`] plus an optional deterministic root rotation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct FaultSpec {
-    /// Per-round per-node token-loss probability, percent (0..=100).
-    pub loss_percent: u32,
-    /// Per-round per-node dropout probability, percent (0..=100).
-    pub dropout_percent: u32,
-    /// Rounds a dropped-out node stays offline (≥ 1 when dropout is on).
-    pub dropout_rounds: u64,
-    /// Re-root the round at a deterministic rotating node every
-    /// `period` rounds; `None` keeps the source's roots.
-    pub rotation_period: Option<u64>,
-}
-
-impl FaultSpec {
-    /// The fault-free mix.
-    #[must_use]
-    pub fn none() -> Self {
-        FaultSpec::default()
-    }
-
-    /// Token loss at `percent`%.
-    #[must_use]
-    pub fn loss(percent: u32) -> Self {
-        FaultSpec {
-            loss_percent: percent,
-            ..FaultSpec::default()
-        }
-    }
-
-    /// Dropout at `percent`% for `rounds` rounds per event.
-    #[must_use]
-    pub fn dropout(percent: u32, rounds: u64) -> Self {
-        FaultSpec {
-            dropout_percent: percent,
-            dropout_rounds: rounds,
-            ..FaultSpec::default()
-        }
-    }
-
-    /// Deterministic root rotation with the given period.
-    #[must_use]
-    pub fn rotation(period: u64) -> Self {
-        FaultSpec {
-            rotation_period: Some(period),
-            ..FaultSpec::default()
-        }
-    }
-
-    /// `true` when no fault class is enabled.
-    #[must_use]
-    pub fn is_quiet(&self) -> bool {
-        self.loss_percent == 0 && self.dropout_percent == 0 && self.rotation_period.is_none()
-    }
-
-    /// Human-readable label for tables and reports.
-    #[must_use]
-    pub fn label(&self) -> String {
-        if self.is_quiet() {
-            return "no-faults".into();
-        }
-        let mut parts = Vec::new();
-        if self.loss_percent > 0 {
-            parts.push(format!("loss={}%", self.loss_percent));
-        }
-        if self.dropout_percent > 0 {
-            parts.push(format!(
-                "drop={}%x{}",
-                self.dropout_percent,
-                self.dropout_rounds.max(1)
-            ));
-        }
-        if let Some(period) = self.rotation_period {
-            parts.push(format!("rotate={period}"));
-        }
-        parts.join(",")
-    }
-
-    /// Builds the per-replica fault model for `seed`.
-    fn model(&self, seed: u64) -> SpecFaults {
-        let mut seeded = SeededFaults::new(seed);
-        if self.loss_percent > 0 {
-            seeded = seeded.with_token_loss(self.loss_percent);
-        }
-        if self.dropout_percent > 0 {
-            seeded = seeded.with_dropout(self.dropout_percent, self.dropout_rounds.max(1));
-        }
-        SpecFaults {
-            seeded,
-            rotation_period: self.rotation_period,
-        }
-    }
-}
-
-/// [`SeededFaults`] composed with the deterministic root rotation —
-/// the loss/dropout stream stays seeded while the root walks the node
-/// ring with a fixed period (matching [`treecast_core::RotatingRoot`]).
-struct SpecFaults {
-    seeded: SeededFaults,
-    rotation_period: Option<u64>,
-}
-
-impl FaultModel for SpecFaults {
-    fn faults(&mut self, round: u64, n: usize) -> RoundFaults {
-        let mut rf = self.seeded.faults(round, n);
-        if let Some(period) = self.rotation_period {
-            rf.root = Some((((round - 1) / period) % n as u64) as usize);
-        }
-        rf
-    }
-
-    fn name(&self) -> String {
-        match self.rotation_period {
-            Some(period) => format!("{}+rotate({period})", self.seeded.name()),
-            None => self.seeded.name(),
-        }
-    }
-}
 
 /// One Monte Carlo cell: R replicas of a (workload × faults × trees)
 /// configuration with a shared round budget.
@@ -264,39 +126,42 @@ impl RunSpec {
     }
 }
 
-/// The default censoring budget for a cell: a generous multiple of the
-/// fault-free completion regime — 8(n−1) rounds for the static sources
-/// (path diameter territory) and `64·⌈log₂ n⌉` for per-round uniform
-/// trees (the O(log n) gossip regime), floored at 64 rounds.
-#[must_use]
-pub fn default_budget(n: usize, trees: TreeSpec) -> u64 {
-    let base = match trees {
-        TreeSpec::Path | TreeSpec::Star => 8 * (n as u64).saturating_sub(1),
-        TreeSpec::SeededUniform => 64 * (usize::BITS - n.leading_zeros()) as u64,
-    };
-    base.max(64)
-}
+/// [`RunSpec`] is the synchronous-engine [`ReplicaSource`]: the generic
+/// pool and estimator entry points ([`run_replicas_from`],
+/// [`estimate_from`]) accept it interchangeably with the emulation
+/// layer's spec.
+impl ReplicaSource for RunSpec {
+    fn n(&self) -> usize {
+        self.n
+    }
 
-/// One replica's outcome.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ReplicaOutcome {
-    /// Completion round, when the workload finished within budget.
-    pub rounds: Option<u64>,
-}
+    fn k(&self) -> usize {
+        self.k
+    }
 
-/// SplitMix64 — the workspace's standard seed-derivation mix.
-#[must_use]
-pub fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
+    fn replicas(&self) -> usize {
+        self.replicas
+    }
 
-/// The derived seed of replica `index` under `base_seed`.
-#[must_use]
-pub fn replica_seed(base_seed: u64, index: usize) -> u64 {
-    splitmix64(base_seed ^ (index as u64 + 1))
+    fn round_budget(&self) -> u64 {
+        self.round_budget
+    }
+
+    fn workload_label(&self) -> String {
+        RunSpec::workload_label(self)
+    }
+
+    fn source_label(&self) -> String {
+        self.trees.label().to_string()
+    }
+
+    fn fault_label(&self) -> String {
+        self.faults.label()
+    }
+
+    fn run_replica(&self, index: usize) -> ReplicaOutcome {
+        run_replica(self, index)
+    }
 }
 
 /// Runs one replica of `spec` (replica `index`), on the engine the
@@ -365,16 +230,26 @@ pub fn run_replica_on(spec: &RunSpec, index: usize, frontier: bool) -> ReplicaOu
     }
 }
 
-/// Fixed tweak separating a replica's tree-stream seed from its
-/// fault-stream seed.
-const TREE_STREAM_TWEAK: u64 = 0x0007_4EE0_0000_0001;
-
 /// Runs all replicas of `spec` on `threads` workers and returns the
 /// outcomes in replica-index order (the determinism contract — see the
 /// module docs).
 #[must_use]
 pub fn run_replicas(spec: &RunSpec, threads: usize) -> Vec<ReplicaOutcome> {
-    let total = spec.replicas;
+    run_replicas_from(spec, threads)
+}
+
+/// The generic worker pool behind [`run_replicas`]: fans any
+/// [`ReplicaSource`]'s replicas out over `threads` workers, each writing
+/// into its own preassigned contiguous chunk of the result vector, so
+/// the merged outcome sequence is the replica-index order regardless of
+/// thread count or scheduling. This is the single pool both the
+/// synchronous [`RunSpec`] cells and the emulation layer's cells run on.
+#[must_use]
+pub fn run_replicas_from<S: ReplicaSource + ?Sized>(
+    source: &S,
+    threads: usize,
+) -> Vec<ReplicaOutcome> {
+    let total = source.replicas();
     let mut out = vec![ReplicaOutcome::default(); total];
     if total == 0 {
         return out;
@@ -382,7 +257,7 @@ pub fn run_replicas(spec: &RunSpec, threads: usize) -> Vec<ReplicaOutcome> {
     let threads = threads.max(1).min(total);
     if threads == 1 {
         for (i, slot) in out.iter_mut().enumerate() {
-            *slot = run_replica(spec, i);
+            *slot = source.run_replica(i);
         }
         return out;
     }
@@ -392,7 +267,7 @@ pub fn run_replicas(spec: &RunSpec, threads: usize) -> Vec<ReplicaOutcome> {
             let start = worker * chunk;
             scope.spawn(move || {
                 for (offset, slot) in slots.iter_mut().enumerate() {
-                    *slot = run_replica(spec, start + offset);
+                    *slot = source.run_replica(start + offset);
                 }
             });
         }
@@ -439,7 +314,16 @@ impl MonteCarloEstimate {
 /// Panics on an invalid spec — same contract as [`run_replica`].
 #[must_use]
 pub fn estimate(spec: &RunSpec, threads: usize) -> MonteCarloEstimate {
-    let outcomes = run_replicas(spec, threads);
+    estimate_from(spec, threads)
+}
+
+/// [`estimate`] generalized over any [`ReplicaSource`]: the estimators,
+/// sweeps and critical-value readout apply verbatim to whatever can run
+/// replicas — the synchronous engines through [`RunSpec`], or the
+/// asynchronous gossip emulation through its spec.
+#[must_use]
+pub fn estimate_from<S: ReplicaSource + ?Sized>(source: &S, threads: usize) -> MonteCarloEstimate {
+    let outcomes = run_replicas_from(source, threads);
     let mut stats = RoundStats::new();
     for outcome in &outcomes {
         match outcome.rounds {
@@ -448,12 +332,12 @@ pub fn estimate(spec: &RunSpec, threads: usize) -> MonteCarloEstimate {
         }
     }
     MonteCarloEstimate {
-        n: spec.n,
-        k: spec.k,
-        workload: spec.workload_label(),
-        source: spec.trees.label().to_string(),
-        faults: spec.faults.label(),
-        round_budget: spec.round_budget,
+        n: source.n(),
+        k: source.k(),
+        workload: source.workload_label(),
+        source: source.source_label(),
+        faults: source.fault_label(),
+        round_budget: source.round_budget(),
         stats,
     }
 }
@@ -461,14 +345,6 @@ pub fn estimate(spec: &RunSpec, threads: usize) -> MonteCarloEstimate {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn replica_seeds_are_distinct_and_stable() {
-        let a = replica_seed(7, 0);
-        let b = replica_seed(7, 1);
-        assert_ne!(a, b);
-        assert_eq!(a, replica_seed(7, 0), "pure function of (base, index)");
-    }
 
     #[test]
     fn fault_free_replicas_all_agree() {
@@ -516,9 +392,18 @@ mod tests {
     }
 
     #[test]
-    fn default_budgets_scale_with_the_regime() {
-        assert_eq!(default_budget(1024, TreeSpec::Path), 8 * 1023);
-        assert_eq!(default_budget(1024, TreeSpec::SeededUniform), 64 * 11);
-        assert_eq!(default_budget(2, TreeSpec::SeededUniform), 128);
+    fn generic_and_specific_pools_agree() {
+        // `run_replicas` is a thin wrapper over the generic pool; the
+        // trait path must produce the identical outcome sequence.
+        let spec = RunSpec::new(
+            18,
+            2,
+            TreeSpec::SeededUniform,
+            FaultSpec::loss_permille(150),
+        )
+        .with_replicas(10)
+        .with_seed(3);
+        assert_eq!(run_replicas(&spec, 2), run_replicas_from(&spec, 4));
+        assert_eq!(estimate(&spec, 1), estimate_from(&spec, 8));
     }
 }

@@ -12,16 +12,21 @@
 //! expected completion time is not finite, so no budget is large enough
 //! and the censored count is the honest statistic.
 
-use crate::replica::{estimate, FaultSpec, MonteCarloEstimate, RunSpec};
+use crate::replica::{estimate_from, FaultSpec, MonteCarloEstimate, ReplicaSource, RunSpec};
 
 /// The fault dimension a sweep varies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SweepDim {
     /// Token-loss probability, percent.
     LossPercent,
+    /// Token-loss probability, per-mille — the resolution that locates
+    /// the n ≥ 1024 transitions the percent grid can only floor at 1%.
+    LossPermille,
     /// Dropout probability, percent (events last
     /// [`FaultSpec::dropout_rounds`] rounds, default 2).
     DropoutPercent,
+    /// Dropout probability, per-mille (events last 2 rounds).
+    DropoutPermille,
     /// Deterministic root-rotation period, rounds (smaller = more
     /// hostile).
     RotationPeriod,
@@ -33,7 +38,9 @@ impl SweepDim {
     pub fn label(self) -> &'static str {
         match self {
             SweepDim::LossPercent => "loss %",
+            SweepDim::LossPermille => "loss ‰",
             SweepDim::DropoutPercent => "dropout %",
+            SweepDim::DropoutPermille => "dropout ‰",
             SweepDim::RotationPeriod => "rotation period",
         }
     }
@@ -43,7 +50,9 @@ impl SweepDim {
     pub fn fault_spec(self, value: u64) -> FaultSpec {
         match self {
             SweepDim::LossPercent => FaultSpec::loss(value as u32),
+            SweepDim::LossPermille => FaultSpec::loss_permille(value as u32),
             SweepDim::DropoutPercent => FaultSpec::dropout(value as u32, 2),
+            SweepDim::DropoutPermille => FaultSpec::dropout_permille(value as u32, 2),
             SweepDim::RotationPeriod => {
                 if value == 0 {
                     FaultSpec::none()
@@ -67,8 +76,9 @@ pub struct SweepCell {
 /// A completed sweep: the grid in ascending order plus the spec echo.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepResult {
-    /// The varied dimension.
-    pub dim: SweepDim,
+    /// Column label of the varied dimension ([`SweepDim::label`] for the
+    /// fault dims; the emulation layer's knob dims supply their own).
+    pub dim: String,
     /// Grid points, in the order swept.
     pub cells: Vec<SweepCell>,
 }
@@ -100,18 +110,50 @@ impl SweepResult {
 /// the probability dimensions.
 #[must_use]
 pub fn sweep(base: &RunSpec, dim: SweepDim, values: &[u64], threads: usize) -> SweepResult {
-    let cells = values
-        .iter()
-        .map(|&value| {
+    sweep_cells(
+        dim.label(),
+        values,
+        |value| {
             let mut spec = base.clone();
             spec.faults = dim.fault_spec(value);
-            SweepCell {
-                value,
-                estimate: estimate(&spec, threads),
-            }
+            spec
+        },
+        threads,
+    )
+}
+
+/// The generic grid behind [`sweep`]: estimates `cell(value)` for every
+/// grid value, over any [`ReplicaSource`]. This is how scenario knobs
+/// that live outside the fault layer — the emulation's bandwidth cap,
+/// advert fan-out, batch size — become first-class sweep dimensions
+/// with the same [`SweepResult::critical_value`] readout.
+///
+/// # Panics
+///
+/// Panics if `cell` builds an invalid source — same contract as
+/// [`crate::estimate_from`].
+#[must_use]
+pub fn sweep_cells<S, F>(
+    dim_label: impl Into<String>,
+    values: &[u64],
+    mut cell: F,
+    threads: usize,
+) -> SweepResult
+where
+    S: ReplicaSource,
+    F: FnMut(u64) -> S,
+{
+    let cells = values
+        .iter()
+        .map(|&value| SweepCell {
+            value,
+            estimate: estimate_from(&cell(value), threads),
         })
         .collect();
-    SweepResult { dim, cells }
+    SweepResult {
+        dim: dim_label.into(),
+        cells,
+    }
 }
 
 #[cfg(test)]
@@ -158,8 +200,16 @@ mod tests {
     fn dims_map_to_fault_specs() {
         assert_eq!(SweepDim::LossPercent.fault_spec(30), FaultSpec::loss(30));
         assert_eq!(
+            SweepDim::LossPermille.fault_spec(5),
+            FaultSpec::loss_permille(5)
+        );
+        assert_eq!(
             SweepDim::DropoutPercent.fault_spec(10),
             FaultSpec::dropout(10, 2)
+        );
+        assert_eq!(
+            SweepDim::DropoutPermille.fault_spec(3),
+            FaultSpec::dropout_permille(3, 2)
         );
         assert_eq!(
             SweepDim::RotationPeriod.fault_spec(4),

@@ -19,6 +19,7 @@
 //! | [`solver`] | `treecast-solver` | exact `t*(T_n)` by state-space search |
 //! | [`nonsplit`] | `treecast-nonsplit` | nonsplit graphs, the CFN lemma, FNW dissemination |
 //! | [`montecarlo`] | `treecast-montecarlo` | seeded Monte Carlo estimation over the fault layer: replica pools, online statistics, phase-transition sweeps |
+//! | [`emulation`] | `treecast-emulation` | asynchronous push/pull gossip emulation over adversary trees, knob-bounded, pinned to the synchronous model when unconstrained |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@
 pub use treecast_adversary as adversary;
 pub use treecast_bitmatrix as bitmatrix;
 pub use treecast_core as core;
+pub use treecast_emulation as emulation;
 pub use treecast_montecarlo as montecarlo;
 pub use treecast_nonsplit as nonsplit;
 pub use treecast_solver as solver;
